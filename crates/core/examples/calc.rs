@@ -1,0 +1,42 @@
+//! A calculator for the paper's `arith` mini language (arithmetic,
+//! comparison, binding, branching), evaluating each line of stdin —
+//! or a demo program when stdin is a terminal.
+//!
+//! ```text
+//! echo 'let x = 3 in if x > 2 then x * 100 else 0' | cargo run -p flap --example calc
+//! ```
+
+use std::io::{BufRead, IsTerminal};
+
+use flap_grammars::arith::{self, eval};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let def = arith::def();
+    let parser = def.flap_parser();
+
+    let stdin = std::io::stdin();
+    if stdin.is_terminal() {
+        for program in [
+            "1 + 2 * 3",
+            "(1 + 2) * 3",
+            "let x = 21 in x + x",
+            "if 2 > 1 then 100 else 200",
+            "let a = 5 in let b = a * a in b - a",
+        ] {
+            let ast = parser.parse(program.as_bytes())?;
+            println!("{program}  =>  {}", eval(&ast));
+        }
+        return Ok(());
+    }
+    for line in stdin.lock().lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parser.parse(line.as_bytes()) {
+            Ok(ast) => println!("{}", eval(&ast)),
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,20 @@
+//! Prints the Rust source flap generates for the s-expression parser
+//! — the §5.5 "generated code" excerpt, as a compilable module.
+//!
+//! ```text
+//! cargo run -p flap --example codegen_demo > sexp_generated.rs
+//! ```
+//!
+//! The `flap-bench` crate compiles exactly this output (for all six
+//! benchmark grammars) in its build script and benchmarks it as the
+//! "staged codegen" series.
+
+use flap::Parser;
+use flap_grammars::sexp;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let def = sexp::def();
+    let parser = Parser::compile((def.lexer)(), &(def.cfe)())?;
+    print!("{}", parser.emit_rust("sexp_gen"));
+    Ok(())
+}

@@ -1,0 +1,35 @@
+//! Parses JSON from a file (or a generated sample) with the fused,
+//! staged parser and reports the object count and throughput.
+//!
+//! ```text
+//! cargo run --release -p flap --example json_stats -- path/to/file.json
+//! ```
+
+use std::time::Instant;
+
+use flap_grammars::json;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let def = json::def();
+    let parser = def.flap_parser();
+
+    let (source, data) = match std::env::args().nth(1) {
+        Some(path) => (path.clone(), std::fs::read(path)?),
+        None => ("generated sample (4 MB)".to_string(), (def.generate)(7, 4_000_000)),
+    };
+
+    let t0 = Instant::now();
+    let objects = parser.parse(&data)?;
+    let dt = t0.elapsed();
+
+    println!("source:     {source}");
+    println!("bytes:      {}", data.len());
+    println!("objects:    {objects}");
+    println!("time:       {:.2} ms", dt.as_secs_f64() * 1e3);
+    println!("throughput: {:.1} MB/s", data.len() as f64 / dt.as_secs_f64() / 1e6);
+
+    // cross-check against the independent reference parser
+    assert_eq!((def.reference)(&data).ok(), Some(objects));
+    println!("cross-checked against the handwritten reference parser ✓");
+    Ok(())
+}

@@ -1,0 +1,205 @@
+//! The end-user entry point: compile a lexer + combinator grammar
+//! into a fused, staged parser.
+
+use std::fmt;
+
+use flap_cfe::{Cfe, TypeError};
+use flap_dgnf::{DgnfError, Grammar, NormalizeError};
+use flap_fuse::{FuseError, FusedGrammar, FusedParseError};
+use flap_lex::Lexer;
+use flap_staged::{measure_pipeline, CompileTimes, CompiledParser, SizeReport};
+
+/// Everything that can go wrong between a grammar definition and a
+/// runnable parser.
+#[derive(Clone, Debug)]
+pub enum CompileError {
+    /// The grammar violates the Fig 2 side conditions (ambiguity,
+    /// left recursion, …).
+    Type(TypeError),
+    /// Normalization failed (only reachable for expressions that the
+    /// type checker would reject).
+    Normalize(NormalizeError),
+    /// The normalized grammar is not DGNF (ditto).
+    Dgnf(DgnfError),
+    /// Fusion failed (lexer/grammar mismatch).
+    Fuse(FuseError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Type(e) => write!(f, "type error: {e}"),
+            CompileError::Normalize(e) => write!(f, "normalization error: {e}"),
+            CompileError::Dgnf(e) => write!(f, "normal form error: {e}"),
+            CompileError::Fuse(e) => write!(f, "fusion error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<TypeError> for CompileError {
+    fn from(e: TypeError) -> Self {
+        CompileError::Type(e)
+    }
+}
+
+/// A compiled flap parser: the result of type-checking, normalizing
+/// (Fig 4), fusing (Fig 6) and staging (Fig 10) a combinator grammar
+/// against a lexer.
+///
+/// See [`Parser::compile`] for construction and the crate docs for a
+/// complete example.
+pub struct Parser<V> {
+    compiled: CompiledParser<V>,
+    grammar: Grammar<V>,
+    fused: FusedGrammar<V>,
+    lexer: Lexer,
+    sizes: SizeReport,
+    times: CompileTimes,
+}
+
+impl<V: 'static> Parser<V> {
+    /// Runs the full flap pipeline (Fig 1):
+    /// type-check → normalize → check DGNF → fuse → stage.
+    ///
+    /// The returned parser owns the lexer and all intermediate forms,
+    /// which remain inspectable for diagnostics and metrics.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError`] — in practice always a [`TypeError`], since
+    /// the later stages are total on well-typed grammars
+    /// (Theorems 3.3 and 3.7).
+    pub fn compile(mut lexer: Lexer, grammar: &Cfe<V>) -> Result<Parser<V>, CompileError> {
+        flap_cfe::type_check(grammar)?;
+        let (grammar, fused, compiled, sizes, times) = measure_pipeline(&mut lexer, grammar)
+            .map_err(|msg| {
+                // measure_pipeline stringifies; re-run the stages to
+                // recover the structured error for the caller.
+                match flap_dgnf::normalize(grammar) {
+                    Err(e) => CompileError::Normalize(e),
+                    Ok(g) => match g.check_dgnf() {
+                        Err(e) => CompileError::Dgnf(e),
+                        Ok(()) => match flap_fuse::fuse(&mut lexer, &g) {
+                            Err(e) => CompileError::Fuse(e),
+                            Ok(_) => unreachable!("pipeline failed without an error: {msg}"),
+                        },
+                    },
+                }
+            })?;
+        Ok(Parser { compiled, grammar, fused, lexer, sizes, times })
+    }
+
+    /// Parses a complete input, returning the semantic value.
+    ///
+    /// # Errors
+    ///
+    /// [`FusedParseError`] with a byte offset — there are no tokens
+    /// to report, by design.
+    pub fn parse(&self, input: &[u8]) -> Result<V, FusedParseError> {
+        self.compiled.parse(input)
+    }
+
+    /// Recognizes a complete input without running semantic actions.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Parser::parse`].
+    pub fn recognize(&self, input: &[u8]) -> Result<(), FusedParseError> {
+        self.compiled.recognize(input)
+    }
+
+    /// The Table 1 size columns for this grammar.
+    pub fn sizes(&self) -> SizeReport {
+        self.sizes
+    }
+
+    /// The Table 2 compilation-time breakdown for this grammar.
+    pub fn times(&self) -> CompileTimes {
+        self.times
+    }
+
+    /// The normalized DGNF grammar (Fig 3d for the running example).
+    pub fn dgnf(&self) -> &Grammar<V> {
+        &self.grammar
+    }
+
+    /// The fused grammar (Fig 3e for the running example).
+    pub fn fused(&self) -> &FusedGrammar<V> {
+        &self.fused
+    }
+
+    /// The compiled automaton.
+    pub fn compiled(&self) -> &CompiledParser<V> {
+        &self.compiled
+    }
+
+    /// The canonicalized lexer.
+    pub fn lexer(&self) -> &Lexer {
+        &self.lexer
+    }
+
+    /// Emits the staged parser as Rust source (§5.5); see
+    /// [`flap_staged::codegen::emit_rust`].
+    pub fn emit_rust(&self, module_name: &str) -> String {
+        flap_staged::codegen::emit_rust(&self.compiled, module_name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flap_cfe::Cfe;
+    use flap_lex::LexerBuilder;
+
+    fn sexp() -> Parser<i64> {
+        let mut b = LexerBuilder::new();
+        let atom = b.token("atom", "[a-z]+").unwrap();
+        b.skip("[ \n]").unwrap();
+        let lpar = b.token("lpar", r"\(").unwrap();
+        let rpar = b.token("rpar", r"\)").unwrap();
+        let lexer = b.build().unwrap();
+        let g: Cfe<i64> = Cfe::fix(|sexp| {
+            let sexps =
+                Cfe::fix(|sexps| Cfe::eps_with(|| 0).or(sexp.then(sexps, |a, b| a + b)));
+            Cfe::tok_val(lpar, 0)
+                .then(sexps, |_, n| n)
+                .then(Cfe::tok_val(rpar, 0), |n, _| n)
+                .or(Cfe::tok_val(atom, 1))
+        });
+        Parser::compile(lexer, &g).unwrap()
+    }
+
+    #[test]
+    fn end_to_end() {
+        let p = sexp();
+        assert_eq!(p.parse(b"(a (b c) d)").unwrap(), 4);
+        assert!(p.recognize(b"(a)").is_ok());
+        assert!(p.parse(b"(").is_err());
+        assert_eq!(p.sizes().nts, 3);
+        assert!(p.times().total().as_nanos() > 0);
+        assert!(p.emit_rust("gen").contains("pub fn recognize"));
+    }
+
+    #[test]
+    fn compile_rejects_ill_typed() {
+        let mut b = LexerBuilder::new();
+        let a = b.token("a", "a").unwrap();
+        let lexer = b.build().unwrap();
+        let bad: Cfe<i64> = Cfe::tok_val(a, 1).or(Cfe::tok_val(a, 2));
+        match Parser::compile(lexer, &bad) {
+            Err(CompileError::Type(_)) => {}
+            other => panic!("expected a type error, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn intermediate_forms_are_inspectable() {
+        let p = sexp();
+        let bnf = format!("{}", p.dgnf().display(p.lexer()));
+        assert!(bnf.contains("atom"), "{bnf}");
+        let fused = format!("{}", p.fused().display(p.lexer().arena()));
+        assert!(fused.contains("?"), "lookahead rule should render: {fused}");
+    }
+}

@@ -1,0 +1,241 @@
+//! Plain-BNF grammar infrastructure shared by the LL(1) and SLR(1)
+//! baselines: production flattening from the normalized grammar, and
+//! the textbook FIRST/FOLLOW computations.
+
+
+use flap_cfe::{Cfe, TokAction};
+use flap_dgnf::{normalize, Lead, Reduce};
+use flap_lex::{Lexer, Token, TokenSet};
+
+/// One BNF symbol; terminal occurrences carry their value action.
+pub(crate) enum Sym<V> {
+    /// Terminal.
+    T(Token, TokAction<V>),
+    /// Nonterminal (dense index).
+    N(u32),
+}
+
+/// One BNF production with its semantic reduction.
+pub(crate) struct Prod<V> {
+    pub lhs: u32,
+    pub rhs: Vec<Sym<V>>,
+    pub reduce: Reduce<V>,
+}
+
+/// A flattened BNF grammar plus its FIRST/FOLLOW analysis.
+pub(crate) struct Bnf<V> {
+    pub prods: Vec<Prod<V>>,
+    pub nt_count: usize,
+    pub token_count: usize,
+    pub start: u32,
+    pub first: Vec<TokenSet>,
+    pub nullable: Vec<bool>,
+    pub follow: Vec<TokenSet>,
+    /// Whether `$` (end of input) is in FOLLOW of each nonterminal.
+    pub eof_follow: Vec<bool>,
+}
+
+impl<V: 'static> Bnf<V> {
+    /// Normalizes `cfe` (which also serves as the BNF elaboration of
+    /// the combinator grammar) and runs the FIRST/FOLLOW analysis.
+    pub fn build(lexer: &Lexer, cfe: &Cfe<V>) -> Result<Self, String> {
+        flap_cfe::type_check(cfe).map_err(|e| e.to_string())?;
+        let grammar = normalize(cfe).map_err(|e| e.to_string())?;
+        let token_count = lexer.token_count();
+        let nt_count = grammar.nt_count();
+        let mut prods: Vec<Prod<V>> = Vec::new();
+        for nt in grammar.nts() {
+            let entry = grammar.entry(nt);
+            for p in &entry.prods {
+                let Lead::Tok(t) = p.lead else {
+                    return Err("residual variable in grammar".into());
+                };
+                let mut rhs: Vec<Sym<V>> = Vec::with_capacity(1 + p.tail.len());
+                rhs.push(Sym::T(t, p.tok_action.clone().expect("token production has action")));
+                rhs.extend(p.tail.iter().map(|m| Sym::N(m.index() as u32)));
+                prods.push(Prod { lhs: nt.index() as u32, rhs, reduce: p.reduce.clone() });
+            }
+            for e in &entry.eps {
+                prods.push(Prod { lhs: nt.index() as u32, rhs: Vec::new(), reduce: e.clone() });
+            }
+        }
+        let start = grammar.start().index() as u32;
+        let mut bnf = Bnf {
+            prods,
+            nt_count,
+            token_count,
+            start,
+            first: vec![TokenSet::EMPTY; nt_count],
+            nullable: vec![false; nt_count],
+            follow: vec![TokenSet::EMPTY; nt_count],
+            eof_follow: vec![false; nt_count],
+        };
+        bnf.compute_first();
+        bnf.compute_follow();
+        Ok(bnf)
+    }
+
+    fn compute_first(&mut self) {
+        loop {
+            let mut changed = false;
+            for p in &self.prods {
+                let lhs = p.lhs as usize;
+                let mut f = self.first[lhs];
+                let mut all_nullable = true;
+                for sym in &p.rhs {
+                    match sym {
+                        Sym::T(t, _) => {
+                            f.insert(*t);
+                            all_nullable = false;
+                            break;
+                        }
+                        Sym::N(m) => {
+                            f = f.union(&self.first[*m as usize]);
+                            if !self.nullable[*m as usize] {
+                                all_nullable = false;
+                                break;
+                            }
+                        }
+                    }
+                }
+                if f != self.first[lhs] {
+                    self.first[lhs] = f;
+                    changed = true;
+                }
+                if all_nullable && !self.nullable[lhs] {
+                    self.nullable[lhs] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    fn compute_follow(&mut self) {
+        self.eof_follow[self.start as usize] = true;
+        loop {
+            let mut changed = false;
+            for p in &self.prods {
+                let lhs = p.lhs as usize;
+                // walk right-to-left carrying the FIRST of the suffix
+                let mut suffix_first = TokenSet::EMPTY;
+                let mut suffix_nullable = true;
+                for sym in p.rhs.iter().rev() {
+                    match sym {
+                        Sym::T(t, _) => {
+                            suffix_first = TokenSet::single(*t);
+                            suffix_nullable = false;
+                        }
+                        Sym::N(m) => {
+                            let m = *m as usize;
+                            let mut f = self.follow[m].union(&suffix_first);
+                            let mut e = self.eof_follow[m];
+                            if suffix_nullable {
+                                f = f.union(&self.follow[lhs]);
+                                e = e || self.eof_follow[lhs];
+                            }
+                            if f != self.follow[m] || e != self.eof_follow[m] {
+                                self.follow[m] = f;
+                                self.eof_follow[m] = e;
+                                changed = true;
+                            }
+                            if self.nullable[m] {
+                                suffix_first = suffix_first.union(&self.first[m]);
+                            } else {
+                                suffix_nullable = false;
+                                suffix_first = self.first[m];
+                            }
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    /// FIRST of a production's right-hand side, with its
+    /// nullability.
+    pub fn first_of_rhs(&self, p: &Prod<V>) -> (TokenSet, bool) {
+        let mut f = TokenSet::EMPTY;
+        for sym in &p.rhs {
+            match sym {
+                Sym::T(t, _) => {
+                    f.insert(*t);
+                    return (f, false);
+                }
+                Sym::N(m) => {
+                    f = f.union(&self.first[*m as usize]);
+                    if !self.nullable[*m as usize] {
+                        return (f, false);
+                    }
+                }
+            }
+        }
+        (f, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flap_lex::LexerBuilder;
+
+    #[test]
+    fn first_matches_dgnf_first() {
+        let mut b = LexerBuilder::new();
+        let atom = b.token("atom", "[a-z]+").unwrap();
+        b.skip(" ").unwrap();
+        let lpar = b.token("lpar", r"\(").unwrap();
+        let rpar = b.token("rpar", r"\)").unwrap();
+        let lexer = b.build().unwrap();
+        let sexp: Cfe<i64> = Cfe::fix(|sexp| {
+            let sexps =
+                Cfe::fix(|sexps| Cfe::eps_with(|| 0).or(sexp.then(sexps, |a, b| a + b)));
+            Cfe::tok_val(lpar, 0)
+                .then(sexps, |_, n| n)
+                .then(Cfe::tok_val(rpar, 0), |n, _| n)
+                .or(Cfe::tok_val(atom, 1))
+        });
+        let bnf = Bnf::build(&lexer, &sexp).unwrap();
+        let grammar = normalize(&sexp).unwrap();
+        for nt in grammar.nts() {
+            assert_eq!(bnf.first[nt.index()], grammar.first(nt), "FIRST mismatch at {:?}", nt);
+            assert_eq!(bnf.nullable[nt.index()], grammar.nullable(nt));
+        }
+        // start symbol: sexp — FIRST {atom, lpar}, not nullable
+        let s = grammar.start().index();
+        assert!(bnf.first[s].contains(atom) && bnf.first[s].contains(lpar));
+        assert!(!bnf.first[s].contains(rpar));
+        assert!(!bnf.nullable[s]);
+        assert!(bnf.eof_follow[s]);
+    }
+
+    #[test]
+    fn follow_of_inner_nonterminal() {
+        // In sexp: FOLLOW(sexps) = {rpar}; FOLLOW(sexp) ⊇ {atom, lpar, rpar}.
+        let mut b = LexerBuilder::new();
+        let atom = b.token("atom", "[a-z]+").unwrap();
+        let lpar = b.token("lpar", r"\(").unwrap();
+        let rpar = b.token("rpar", r"\)").unwrap();
+        let lexer = b.build().unwrap();
+        let sexp: Cfe<i64> = Cfe::fix(|sexp| {
+            let sexps =
+                Cfe::fix(|sexps| Cfe::eps_with(|| 0).or(sexp.then(sexps, |a, b| a + b)));
+            Cfe::tok_val(lpar, 0)
+                .then(sexps, |_, n| n)
+                .then(Cfe::tok_val(rpar, 0), |n, _| n)
+                .or(Cfe::tok_val(atom, 1))
+        });
+        let bnf = Bnf::build(&lexer, &sexp).unwrap();
+        let grammar = normalize(&sexp).unwrap();
+        // find the nullable nonterminal (sexps)
+        let sexps = grammar.nts().find(|&n| grammar.nullable(n)).expect("sexps is nullable");
+        assert!(bnf.follow[sexps.index()].contains(rpar));
+        assert!(!bnf.follow[sexps.index()].contains(atom));
+        let _ = atom;
+    }
+}

@@ -1,0 +1,85 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **staging** — fused VM vs the Fig 9 interpreter (same fused
+//!   grammar, derivatives precomputed vs on-the-fly);
+//! * **fusion** — fused VM vs the token-stream DGNF parser (same
+//!   normalized grammar);
+//! * **semantic actions** — parse (with value folding) vs recognize
+//!   (scan only) on the staged VM;
+//! * **lexing alone** — the compiled DFA lexer's token-stream walk,
+//!   an upper bound for any token-materializing parser.
+//!
+//! Run with `cargo bench -p flap-bench --bench ablation`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use flap_lex::CompiledLexer;
+
+fn bench_ablation(c: &mut Criterion) {
+    for def in [flap_grammars::sexp::def(), flap_grammars::json::def()] {
+        let name = def.name;
+        let input = (def.generate)(42, 256 * 1024);
+        let expected = (def.reference)(&input).expect("valid input");
+        let finish = def.finish;
+
+        let parser = def.flap_parser();
+        let bench_case = flap_bench::case(def);
+
+        let mut group = c.benchmark_group(format!("ablation/{name}"));
+        group.throughput(Throughput::Bytes(input.len() as u64));
+        group.sample_size(20);
+        group.measurement_time(std::time::Duration::from_secs(2));
+        group.warm_up_time(std::time::Duration::from_millis(500));
+
+        assert_eq!(parser.parse(&input).map(finish).expect("parses"), expected);
+        group.bench_function("parse (staged+fused)", |b| {
+            b.iter(|| parser.parse(black_box(&input)).expect("parses"))
+        });
+        group.bench_function("recognize (no actions)", |b| {
+            b.iter(|| parser.recognize(black_box(&input)).expect("recognizes"))
+        });
+        // native staged code, built by build.rs from emit_rust output
+        let codegen: fn(&[u8]) -> Result<(), usize> = match name {
+            "json" => flap_bench::generated::json_gen::recognize,
+            _ => flap_bench::generated::sexp_gen::recognize,
+        };
+        codegen(&input).expect("generated recognizer accepts the input");
+        group.bench_function("recognize (staged codegen, native)", |b| {
+            b.iter(|| codegen(black_box(&input)).expect("recognizes"))
+        });
+        for target in ["flap-unstaged", "normalized"] {
+            let imp = bench_case
+                .impls
+                .iter()
+                .find(|i| i.name == target)
+                .expect("implementation exists");
+            group.bench_function(target, |b| {
+                b.iter(|| (imp.run)(black_box(&input)).expect("parses"))
+            });
+        }
+        // lexing alone: walk the token stream without parsing
+        {
+            let mut lexer = if name == "json" {
+                flap_grammars::json::lexer()
+            } else {
+                flap_grammars::sexp::lexer()
+            };
+            let clex = CompiledLexer::build(&mut lexer);
+            group.bench_function("lex only (DFA, tokens materialized)", |b| {
+                b.iter(|| {
+                    let mut n = 0usize;
+                    for lx in clex.lexemes(black_box(&input)) {
+                        lx.expect("lexes");
+                        n += 1;
+                    }
+                    n
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

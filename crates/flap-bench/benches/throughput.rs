@@ -1,0 +1,29 @@
+//! Criterion version of Fig 11: throughput of every implementation
+//! on every grammar, with statistically sound sampling.
+//!
+//! Run with `cargo bench -p flap-bench --bench throughput`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_throughput(c: &mut Criterion) {
+    for case in flap_bench::all_cases() {
+        let input = (case.generate)(42, 256 * 1024);
+        let expected = (case.reference)(&input).expect("generated input is valid");
+        let mut group = c.benchmark_group(format!("fig11/{}", case.name));
+        group.throughput(Throughput::Bytes(input.len() as u64));
+        group.sample_size(20);
+        group.measurement_time(std::time::Duration::from_secs(2));
+        group.warm_up_time(std::time::Duration::from_millis(500));
+        for imp in &case.impls {
+            assert_eq!((imp.run)(&input).expect("parses"), expected);
+            group.bench_function(BenchmarkId::from_parameter(imp.name), |b| {
+                b.iter(|| (imp.run)(black_box(&input)).expect("parses"))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

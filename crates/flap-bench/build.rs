@@ -1,0 +1,25 @@
+//! Build script: runs the flap pipeline at *build* time and compiles
+//! the emitted Rust recognizers (§5.5) into this crate — the closest
+//! Rust analogue of MetaOCaml's run-time code generation, and the
+//! "staged native" series of the ablation benchmarks.
+
+use std::path::Path;
+
+fn emit<V: 'static>(def: flap_grammars::GrammarDef<V>, out_dir: &str) {
+    let parser = flap::Parser::compile((def.lexer)(), &(def.cfe)())
+        .unwrap_or_else(|e| panic!("{} failed to compile: {e}", def.name));
+    let src = parser.emit_rust(&format!("{}_gen", def.name));
+    let path = Path::new(out_dir).join(format!("{}_gen.rs", def.name));
+    std::fs::write(&path, src).expect("write generated recognizer");
+}
+
+fn main() {
+    let out_dir = std::env::var("OUT_DIR").expect("OUT_DIR is set by cargo");
+    emit(flap_grammars::sexp::def(), &out_dir);
+    emit(flap_grammars::json::def(), &out_dir);
+    emit(flap_grammars::csv::def(), &out_dir);
+    emit(flap_grammars::pgn::def(), &out_dir);
+    emit(flap_grammars::ppm::def(), &out_dir);
+    emit(flap_grammars::arith::def(), &out_dir);
+    println!("cargo::rerun-if-changed=build.rs");
+}

@@ -1,0 +1,94 @@
+//! Regenerates Fig 11 of the paper: parser throughput (MB/s) for
+//! every implementation on every benchmark grammar.
+//!
+//! Usage: `cargo run -p flap-bench --release --bin fig11 [target_MB]`
+//! (default 2 MB per grammar).
+//!
+//! The absolute numbers depend on the machine; the paper's claim is
+//! about *shape*: flap beats the token-stream implementations by
+//! integer factors, and `normalized` (same grammar, unfused) trails
+//! flap by 1.7–7.4×.
+
+use flap_bench::{all_cases, throughput_mbps};
+
+fn main() {
+    let target_mb: f64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(2.0);
+    let target = (target_mb * 1e6) as usize;
+    let iters = 7;
+
+    let cases = all_cases();
+    println!("Fig 11: parser throughput (MB/s), inputs ≈ {target_mb} MB, median of {iters} runs");
+    println!();
+    print!("{:<14}", "impl");
+    for c in &cases {
+        print!("{:>10}", c.name);
+    }
+    println!();
+    let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
+    for i in 0..cases[0].impls.len() {
+        let mut row = Vec::new();
+        for c in &cases {
+            let input = (c.generate)(42, target);
+            let expected = (c.reference)(&input).expect("generated input is valid");
+            let mbps = throughput_mbps(&c.impls[i].run, &input, expected, iters);
+            row.push(mbps);
+        }
+        rows.push((cases[0].impls[i].name.to_string(), row));
+    }
+    for (name, row) in &rows {
+        print!("{:<14}", name);
+        for v in row {
+            print!("{:>10.1}", v);
+        }
+        println!();
+    }
+    // The genuinely staged path: recognizers emitted by
+    // flap_staged::codegen and compiled natively by build.rs. These
+    // run no semantic actions (closures cannot be residualized), so
+    // the row is marked; it is the closest analogue of flap's
+    // MetaOCaml-generated code.
+    print!("{:<14}", "flap-codegen†");
+    let mut codegen_row = Vec::new();
+    for c in &cases {
+        let input = (c.generate)(42, target);
+        let rec = flap_bench::generated_recognizer(c.name);
+        // Rust does not guarantee tail-call elimination, so
+        // iteration-shaped recursion in the generated code (e.g. one
+        // PPM sample per production) may need real stack on multi-MB
+        // inputs; flap's OCaml relies on guaranteed tail calls here.
+        let mbps = std::thread::Builder::new()
+            .stack_size(512 << 20)
+            .spawn(move || {
+                rec(&input).expect("generated recognizer accepts the input");
+                let mut times = Vec::new();
+                for _ in 0..iters {
+                    let t0 = std::time::Instant::now();
+                    rec(&input).expect("recognizes");
+                    times.push(t0.elapsed());
+                }
+                times.sort_unstable();
+                input.len() as f64 / times[times.len() / 2].as_secs_f64() / 1e6
+            })
+            .expect("spawn")
+            .join()
+            .expect("codegen bench thread");
+        codegen_row.push(mbps);
+        print!("{:>10.1}", mbps);
+    }
+    println!("   († recognizer: no semantic actions)");
+    println!();
+    // the paper's headline ratios
+    let flap_row = &rows[0].1;
+    let norm_row = &rows.iter().find(|(n, _)| n == "normalized").expect("normalized row").1;
+    let asp_row = &rows.iter().find(|(n, _)| n == "asp").expect("asp row").1;
+    print!("{:<14}", "flap/norm");
+    for (f, n) in flap_row.iter().zip(norm_row.iter()) {
+        print!("{:>10.1}", f / n);
+    }
+    println!("   (paper: 1.7–7.4x)");
+    print!("{:<14}", "flap/asp");
+    for (f, a) in flap_row.iter().zip(asp_row.iter()) {
+        print!("{:>10.1}", f / a);
+    }
+    println!("   (paper: 2.0–8.0x)");
+}

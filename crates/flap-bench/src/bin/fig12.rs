@@ -1,0 +1,39 @@
+//! Regenerates Fig 12 of the paper: run time against input size for
+//! every implementation, demonstrating linear-time parsing.
+//!
+//! Usage: `cargo run -p flap-bench --release --bin fig12`
+//!
+//! Prints, per grammar, one row per input size with the best-of-5
+//! time (ms) per implementation, plus a ns/byte column for flap —
+//! linearity shows up as a constant ns/byte down each column.
+
+use flap_bench::{all_cases, best_ms};
+
+fn main() {
+    let sizes: [usize; 6] = [125_000, 250_000, 500_000, 1_000_000, 1_500_000, 2_000_000];
+    for c in all_cases() {
+        println!("== {} ==", c.name);
+        print!("{:>10}", "bytes");
+        for imp in &c.impls {
+            print!("{:>14}", imp.name);
+        }
+        println!("{:>12}", "flap ns/B");
+        for &size in &sizes {
+            let input = (c.generate)(42, size);
+            let expected = (c.reference)(&input).expect("generated input is valid");
+            print!("{:>10}", input.len());
+            let mut flap_ms = 0.0;
+            for (i, imp) in c.impls.iter().enumerate() {
+                let got = (imp.run)(&input).expect("parses");
+                assert_eq!(got, expected, "{}/{} disagrees", c.name, imp.name);
+                let ms = best_ms(&imp.run, &input, 5);
+                if i == 0 {
+                    flap_ms = ms;
+                }
+                print!("{:>12.2}ms", ms);
+            }
+            println!("{:>12.2}", flap_ms * 1e6 / input.len() as f64);
+        }
+        println!();
+    }
+}

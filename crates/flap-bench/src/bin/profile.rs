@@ -1,0 +1,83 @@
+//! Quick component-cost profiler used during development (not a
+//! paper artifact): separates scan cost from action cost.
+
+use std::time::Instant;
+
+fn time<F: FnMut()>(label: &str, bytes: usize, mut f: F) {
+    // warmup
+    f();
+    let n = 5;
+    let t0 = Instant::now();
+    for _ in 0..n {
+        f();
+    }
+    let dt = t0.elapsed().as_secs_f64() / n as f64;
+    println!("{:<28} {:>8.1} MB/s", label, bytes as f64 / dt / 1e6);
+}
+
+fn main() {
+    for which in ["json", "sexp"] {
+        println!("== {which} ==");
+        let (def, input) = match which {
+            "json" => {
+                let d = flap_grammars::json::def();
+                let i = (d.generate)(42, 2_000_000);
+                (flap_bench::case(d), i)
+            }
+            _ => {
+                let d = flap_grammars::sexp::def();
+                let i = (d.generate)(42, 2_000_000);
+                (flap_bench::case(d), i)
+            }
+        };
+        let parser = match which {
+            "json" => flap_grammars::json::def().flap_parser(),
+            _ => {
+                // recompile sexp parser (uniform type)
+                let d = flap_grammars::sexp::def();
+                flap::Parser::compile((d.lexer)(), &(d.cfe)()).unwrap()
+            }
+        };
+        let _ = &parser;
+        time("flap parse", input.len(), || {
+            (def.impls[0].run)(&input).unwrap();
+        });
+        let mut lexer = match which {
+            "json" => flap_grammars::json::lexer(),
+            _ => flap_grammars::sexp::lexer(),
+        };
+        let clex = flap_lex::CompiledLexer::build(&mut lexer);
+        time("lex only", input.len(), || {
+            let mut n = 0;
+            for lx in clex.lexemes(&input) {
+                lx.unwrap();
+                n += 1;
+            }
+            std::hint::black_box(n);
+        });
+        time("normalized", input.len(), || {
+            (def.impls[2].run)(&input).unwrap();
+        });
+    }
+    // recognizer path (no actions at all)
+    let d = flap_grammars::json::def();
+    let input = (d.generate)(42, 2_000_000);
+    let p = d.flap_parser();
+    time("json recognize (no actions)", input.len(), || {
+        p.recognize(&input).unwrap();
+    });
+    let d = flap_grammars::sexp::def();
+    let input = (d.generate)(42, 2_000_000);
+    let p = d.flap_parser();
+    time("sexp recognize (no actions)", input.len(), || {
+        p.recognize(&input).unwrap();
+    });
+    time("sexp recognize (codegen)", input.len(), || {
+        flap_bench::generated::sexp_gen::recognize(&input).unwrap();
+    });
+    let d = flap_grammars::json::def();
+    let input = (d.generate)(42, 2_000_000);
+    time("json recognize (codegen)", input.len(), || {
+        flap_bench::generated::json_gen::recognize(&input).unwrap();
+    });
+}

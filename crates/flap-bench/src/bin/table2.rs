@@ -1,0 +1,50 @@
+//! Regenerates Table 2 of the paper: grammar compilation time
+//! (type-checking, normalization, fusion, code generation).
+//!
+//! Usage: `cargo run -p flap-bench --release --bin table2`
+//!
+//! The paper reports 0.33 ms – 460 ms per grammar on an i9-12900K;
+//! the claim being reproduced is that every grammar compiles well
+//! under the one-second interactivity threshold (§6 cites Nielsen's
+//! ten-second rule).
+
+use std::time::Instant;
+
+use flap::Parser;
+
+fn row<V: 'static>(def: flap_grammars::GrammarDef<V>, paper_ms: f64) {
+    // median of several complete pipeline runs
+    let mut totals = Vec::new();
+    let mut breakdown = None;
+    for _ in 0..9 {
+        let lexer = (def.lexer)();
+        let cfe = (def.cfe)();
+        let t0 = Instant::now();
+        let p = Parser::compile(lexer, &cfe).expect("compiles");
+        totals.push(t0.elapsed().as_secs_f64() * 1e3);
+        breakdown = Some(p.times());
+    }
+    totals.sort_by(f64::total_cmp);
+    let t = breakdown.expect("at least one run");
+    println!(
+        "{:<8}{:>12.3}{:>12.3}   (check {:.3} + normalize {:.3} + fuse {:.3} + stage {:.3})",
+        def.name,
+        totals[totals.len() / 2],
+        paper_ms,
+        t.type_check.as_secs_f64() * 1e3,
+        t.normalize.as_secs_f64() * 1e3,
+        t.fuse.as_secs_f64() * 1e3,
+        t.stage.as_secs_f64() * 1e3,
+    );
+}
+
+fn main() {
+    println!("Table 2: compilation time (ms)");
+    println!("{:<8}{:>12}{:>12}", "grammar", "ours", "paper");
+    row(flap_grammars::pgn::def(), 212.0);
+    row(flap_grammars::ppm::def(), 3.60);
+    row(flap_grammars::sexp::def(), 0.331);
+    row(flap_grammars::csv::def(), 0.499);
+    row(flap_grammars::json::def(), 28.5);
+    row(flap_grammars::arith::def(), 460.0);
+}

@@ -1,0 +1,349 @@
+//! The type system of Fig 2, implemented as a checker with
+//! least-fixed-point typing for `μ`.
+//!
+//! The paper presents declarative rules with contexts `Γ; Δ`: a
+//! variable bound by `μ` starts in `Δ` (unusable — using it there
+//! would be left recursion) and moves into `Γ` once it appears to the
+//! right of a separable sequence (`Γ, Δ; • ⊢ g₂` in the rule for
+//! `g₁·g₂`). Following the asp/flap implementations, we realize this
+//! with a per-variable *guarded* flag, and compute the annotation `τ`
+//! of each `μα:τ.g` by Kleene iteration from the bottom type — the
+//! lattice of types over a finite token set is finite, so the
+//! iteration converges.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use flap_lex::TokenSet;
+
+use crate::expr::{Cfe, CfeNode, VarId};
+use crate::ty::Ty;
+
+/// Type-checking failures: violations of the Fig 2 side conditions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TypeError {
+    /// `g₁·g₂` where `τ₁ ⊛ τ₂` fails.
+    NotSeparable {
+        /// `τ₁.FLast ∩ τ₂.First` (empty when the failure is
+        /// nullability).
+        overlap: TokenSet,
+        /// Whether `τ₁.Null` held (the other way ⊛ can fail).
+        left_nullable: bool,
+    },
+    /// `g₁ ∨ g₂` where `τ₁ # τ₂` fails.
+    NotApart {
+        /// `τ₁.First ∩ τ₂.First`.
+        overlap: TokenSet,
+        /// Whether both branches were nullable.
+        both_nullable: bool,
+    },
+    /// A variable was used in an unguarded position (left recursion).
+    LeftRecursion {
+        /// The offending variable.
+        var: VarId,
+    },
+    /// A variable escaped its binder (cannot happen via [`Cfe::fix`],
+    /// but expressions can be assembled from parts).
+    Unbound {
+        /// The offending variable.
+        var: VarId,
+    },
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::NotSeparable { overlap, left_nullable } => {
+                if *left_nullable {
+                    write!(f, "sequence not separable: left operand is nullable")
+                } else {
+                    write!(
+                        f,
+                        "sequence not separable: FLast/First overlap on tokens {:?}",
+                        overlap
+                    )
+                }
+            }
+            TypeError::NotApart { overlap, both_nullable } => {
+                if *both_nullable && overlap.is_empty() {
+                    write!(f, "alternatives not apart: both branches are nullable")
+                } else {
+                    write!(f, "alternatives not apart: First sets overlap on tokens {:?}", overlap)
+                }
+            }
+            TypeError::LeftRecursion { var } => {
+                write!(f, "left-recursive use of μ-bound variable {:?}", var)
+            }
+            TypeError::Unbound { var } => write!(f, "unbound grammar variable {:?}", var),
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+#[derive(Clone, Copy)]
+struct Binding {
+    ty: Ty,
+    guarded: bool,
+}
+
+/// Type-checks a closed context-free expression, returning its type.
+///
+/// # Errors
+///
+/// Returns the first violated side condition ([`TypeError`]). A
+/// well-typed expression is guaranteed to normalize to a DGNF grammar
+/// (Theorem 3.7) and hence to parse deterministically in linear time
+/// with one token of lookahead.
+///
+/// # Examples
+///
+/// ```
+/// use flap_cfe::{type_check, Cfe, TypeError};
+/// use flap_lex::Token;
+///
+/// let a = Token::from_index(0);
+/// let good: Cfe<u32> = Cfe::tok_val(a, 1).or(Cfe::eps(0));
+/// assert!(type_check(&good).is_ok());
+///
+/// // a ∨ a: branches overlap on `a`
+/// let bad: Cfe<u32> = Cfe::tok_val(a, 1).or(Cfe::tok_val(a, 2));
+/// assert!(matches!(type_check(&bad), Err(TypeError::NotApart { .. })));
+/// ```
+pub fn type_check<V>(g: &Cfe<V>) -> Result<Ty, TypeError> {
+    check(g, &mut HashMap::new())
+}
+
+fn check<V>(g: &Cfe<V>, env: &mut HashMap<VarId, Binding>) -> Result<Ty, TypeError> {
+    match g.node() {
+        CfeNode::Bot => Ok(Ty::bot()),
+        CfeNode::Eps(_) => Ok(Ty::eps()),
+        CfeNode::Tok(t, _) => Ok(Ty::tok(*t)),
+        CfeNode::Map(inner, _) => check(inner, env),
+        CfeNode::Alt(g1, g2) => {
+            let t1 = check(g1, env)?;
+            let t2 = check(g2, env)?;
+            if !t1.apart(&t2) {
+                return Err(TypeError::NotApart {
+                    overlap: t1.first.intersect(&t2.first),
+                    both_nullable: t1.null && t2.null,
+                });
+            }
+            Ok(t1.alt(&t2))
+        }
+        CfeNode::Seq(g1, g2, _) => {
+            let t1 = check(g1, env)?;
+            // Γ, Δ; • — every variable becomes usable on the right of
+            // a separable sequence.
+            let mut guarded_env: HashMap<VarId, Binding> =
+                env.iter().map(|(&v, &b)| (v, Binding { guarded: true, ..b })).collect();
+            let t2 = check(g2, &mut guarded_env)?;
+            if !t1.separable(&t2) {
+                return Err(TypeError::NotSeparable {
+                    overlap: t1.flast.intersect(&t2.first),
+                    left_nullable: t1.null,
+                });
+            }
+            Ok(t1.seq(&t2))
+        }
+        CfeNode::Var(v) => match env.get(v) {
+            None => Err(TypeError::Unbound { var: *v }),
+            Some(b) if !b.guarded => Err(TypeError::LeftRecursion { var: *v }),
+            Some(b) => Ok(b.ty),
+        },
+        CfeNode::Fix(v, body) => {
+            // Kleene iteration from ⊥ in the finite type lattice.
+            let mut ty = Ty::bot();
+            // |tokens| first-bits + |tokens| flast-bits + null: the
+            // chain length is bounded, but guard against bugs anyway.
+            for _ in 0..(2 * TokenSet::CAPACITY + 2) {
+                let shadowed = env.insert(*v, Binding { ty, guarded: false });
+                let next = check(body, env);
+                match shadowed {
+                    Some(b) => {
+                        env.insert(*v, b);
+                    }
+                    None => {
+                        env.remove(v);
+                    }
+                }
+                let next = next?;
+                if next == ty {
+                    return Ok(ty);
+                }
+                debug_assert!(ty.le(&next), "fixpoint iteration must be monotone");
+                ty = next;
+            }
+            unreachable!("μ type iteration failed to converge in a finite lattice")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flap_lex::Token;
+
+    fn t(i: usize) -> Token {
+        Token::from_index(i)
+    }
+
+    fn tok(i: usize) -> Cfe<i64> {
+        Cfe::tok_val(t(i), 1)
+    }
+
+    #[test]
+    fn constants_type() {
+        assert_eq!(type_check(&Cfe::<i64>::bot()).unwrap(), Ty::bot());
+        assert_eq!(type_check(&Cfe::<i64>::eps(0)).unwrap(), Ty::eps());
+        assert_eq!(type_check(&tok(3)).unwrap(), Ty::tok(t(3)));
+    }
+
+    #[test]
+    fn seq_of_tokens() {
+        let g = tok(0).then(tok(1), |a, b| a + b);
+        let ty = type_check(&g).unwrap();
+        assert!(!ty.null);
+        assert!(ty.first.contains(t(0)) && !ty.first.contains(t(1)));
+    }
+
+    #[test]
+    fn rejects_nullable_left_of_seq() {
+        let g = Cfe::eps(0).then(tok(0), |a, b| a + b);
+        assert!(matches!(
+            type_check(&g),
+            Err(TypeError::NotSeparable { left_nullable: true, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_flast_first_overlap() {
+        // (a · b?) · b : after the optional b, another b is ambiguous
+        let optional_b = Cfe::opt(tok(1), || 0);
+        let head = tok(0).then(optional_b, |a, b| a + b);
+        let g = head.then(tok(1), |a, b| a + b);
+        let err = type_check(&g).unwrap_err();
+        match err {
+            TypeError::NotSeparable { overlap, left_nullable } => {
+                assert!(!left_nullable);
+                assert!(overlap.contains(t(1)));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_overlapping_alternatives() {
+        let g = tok(0).then(tok(1), |a, b| a + b).or(tok(0));
+        assert!(matches!(type_check(&g), Err(TypeError::NotApart { .. })));
+    }
+
+    #[test]
+    fn rejects_doubly_nullable_alternatives() {
+        let g: Cfe<i64> = Cfe::eps(0).or(Cfe::eps(1));
+        match type_check(&g).unwrap_err() {
+            TypeError::NotApart { both_nullable, overlap } => {
+                assert!(both_nullable);
+                assert!(overlap.is_empty());
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn accepts_right_recursion() {
+        // μx. a·x ∨ b
+        let g = Cfe::fix(|x| tok(0).then(x, |a, b| a + b).or(tok(1)));
+        let ty = type_check(&g).unwrap();
+        assert!(!ty.null);
+        assert!(ty.first.contains(t(0)) && ty.first.contains(t(1)));
+    }
+
+    #[test]
+    fn rejects_left_recursion() {
+        // μx. x·a ∨ b
+        let g = Cfe::fix(|x| x.then(tok(0), |a, b| a + b).or(tok(1)));
+        assert!(matches!(type_check(&g), Err(TypeError::LeftRecursion { .. })));
+    }
+
+    #[test]
+    fn rejects_unbound_variable() {
+        // Extract a Var by building a fix and keeping only the body's var.
+        let mut stolen: Option<Cfe<i64>> = None;
+        let _g: Cfe<i64> = Cfe::fix(|x| {
+            stolen = Some(x.clone());
+            tok(0).then(x, |a, b| a + b).or(tok(1))
+        });
+        let loose = stolen.unwrap();
+        assert!(matches!(type_check(&loose), Err(TypeError::Unbound { .. })));
+    }
+
+    #[test]
+    fn star_types_correctly() {
+        let g = Cfe::star(tok(0), || 0, |a, b| a + b);
+        let ty = type_check(&g).unwrap();
+        assert!(ty.null);
+        assert!(ty.first.contains(t(0)));
+        assert!(ty.flast.contains(t(0)), "star's FLast includes its own First");
+    }
+
+    #[test]
+    fn rejects_star_of_nullable() {
+        let inner = Cfe::opt(tok(0), || 0);
+        let g = Cfe::star(inner, || 0, |a, b| a + b);
+        assert!(type_check(&g).is_err());
+    }
+
+    #[test]
+    fn sexp_grammar_types() {
+        // Fig 3c: μ sexp. (lpar·(μ sexps. ε ∨ sexp·sexps)·rpar) ∨ atom
+        let (atom, lpar, rpar) = (t(0), t(1), t(2));
+        let sexp: Cfe<i64> = Cfe::fix(|sexp| {
+            let sexps = Cfe::fix(|sexps| {
+                Cfe::eps_with(|| 0).or(sexp.then(sexps, |a, b| a + b))
+            });
+            Cfe::tok_val(lpar, 0)
+                .then(sexps, |_, n| n)
+                .then(Cfe::tok_val(rpar, 0), |n, _| n)
+                .or(Cfe::tok_val(atom, 1))
+        });
+        let ty = type_check(&sexp).unwrap();
+        assert!(!ty.null);
+        assert!(ty.first.contains(lpar) && ty.first.contains(atom));
+        assert!(!ty.first.contains(rpar));
+    }
+
+    #[test]
+    fn nested_fix_with_outer_var_used_inside() {
+        // sexps uses the *outer* μ-variable sexp guarded by lpar — the
+        // Γ/Δ subtlety the paper highlights.
+        let g: Cfe<i64> = Cfe::fix(|outer| {
+            let inner = Cfe::fix(|inner| {
+                Cfe::eps(0).or(outer.then(inner, |a, b| a + b))
+            });
+            tok(1).then(inner, |a, b| a + b).then(tok(2), |a, b| a + b).or(tok(0))
+        });
+        assert!(type_check(&g).is_ok());
+    }
+
+    #[test]
+    fn unguarded_use_under_fix_directly() {
+        // μx. x — immediately left-recursive
+        let g: Cfe<i64> = Cfe::fix(|x| x);
+        assert!(matches!(type_check(&g), Err(TypeError::LeftRecursion { .. })));
+    }
+
+    #[test]
+    fn error_messages_render() {
+        let e = TypeError::NotSeparable { overlap: TokenSet::EMPTY, left_nullable: true };
+        assert!(e.to_string().contains("nullable"));
+        let e2 = TypeError::LeftRecursion { var: VarId::fresh() };
+        assert!(e2.to_string().contains("left-recursive"));
+    }
+
+    #[test]
+    fn map_is_transparent_to_types() {
+        let g = tok(0).map(|v| v * 2);
+        assert_eq!(type_check(&g).unwrap(), Ty::tok(t(0)));
+    }
+}

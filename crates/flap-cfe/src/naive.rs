@@ -1,0 +1,144 @@
+//! A naive membership oracle for context-free expressions.
+//!
+//! [`naive_matches`] decides `w ∈ ⟦g⟧` directly from the denotational
+//! semantics of §3.4 (set of token strings), by memoized top-down
+//! search over spans. It is exponentially slower than parsing and
+//! exists purely as the *specification* side of differential tests:
+//! Theorem 3.8 (normalization soundness) says the DGNF grammar
+//! produced by `flap-dgnf` accepts exactly the strings this oracle
+//! accepts.
+
+use std::collections::HashMap;
+
+use flap_lex::Token;
+
+use crate::expr::{Cfe, CfeNode, VarId};
+
+/// Decides whether the token string `w` is in the language of `g`.
+///
+/// Specified for *well-typed* expressions (use
+/// [`type_check`](crate::type_check) first): guardedness ensures the
+/// least-fixed-point search terminates. On ill-typed left-recursive
+/// expressions the result for cyclic derivations is the least fixed
+/// point (absence).
+pub fn naive_matches<V>(g: &Cfe<V>, w: &[Token]) -> bool {
+    let mut search = Search { env: HashMap::new(), memo: HashMap::new(), w };
+    search.matches(g, 0, w.len())
+}
+
+struct Search<'a, 'g, V> {
+    env: HashMap<VarId, &'g Cfe<V>>,
+    /// (node address, start, end) → already-computed result;
+    /// `None` marks in-progress entries (cycles resolve to `false`,
+    /// the least fixed point).
+    memo: HashMap<(usize, usize, usize), Option<bool>>,
+    w: &'a [Token],
+}
+
+impl<'g, V> Search<'_, 'g, V> {
+    fn matches(&mut self, g: &'g Cfe<V>, i: usize, j: usize) -> bool {
+        let key = (g.addr(), i, j);
+        match self.memo.get(&key) {
+            Some(Some(r)) => return *r,
+            Some(None) => return false, // cycle: LFP says no
+            None => {}
+        }
+        self.memo.insert(key, None);
+        let r = match g.node() {
+            CfeNode::Bot => false,
+            CfeNode::Eps(_) => i == j,
+            CfeNode::Tok(t, _) => j == i + 1 && self.w[i] == *t,
+            CfeNode::Map(inner, _) => self.matches(inner, i, j),
+            CfeNode::Alt(a, b) => self.matches(a, i, j) || self.matches(b, i, j),
+            CfeNode::Seq(a, b, _) => (i..=j).any(|k| {
+                // borrow-split: recompute references each step
+                self.matches(a, i, k) && self.matches(b, k, j)
+            }),
+            CfeNode::Fix(v, body) => {
+                self.env.insert(*v, body);
+                let r = self.matches(body, i, j);
+                // NOTE: bindings are never removed; VarIds are
+                // globally unique so stale entries are harmless.
+                r
+            }
+            CfeNode::Var(v) => {
+                let body = *self.env.get(v).expect("naive_matches: unbound variable");
+                self.matches(body, i, j)
+            }
+        };
+        self.memo.insert(key, Some(r));
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: usize) -> Token {
+        Token::from_index(i)
+    }
+
+    fn tok(i: usize) -> Cfe<i64> {
+        Cfe::tok_val(t(i), 1)
+    }
+
+    #[test]
+    fn constants() {
+        assert!(!naive_matches(&Cfe::<i64>::bot(), &[]));
+        assert!(naive_matches(&Cfe::<i64>::eps(0), &[]));
+        assert!(!naive_matches(&Cfe::<i64>::eps(0), &[t(0)]));
+        assert!(naive_matches(&tok(0), &[t(0)]));
+        assert!(!naive_matches(&tok(0), &[t(1)]));
+        assert!(!naive_matches(&tok(0), &[]));
+    }
+
+    #[test]
+    fn seq_and_alt() {
+        let g = tok(0).then(tok(1), |a, b| a + b).or(tok(2));
+        assert!(naive_matches(&g, &[t(0), t(1)]));
+        assert!(naive_matches(&g, &[t(2)]));
+        assert!(!naive_matches(&g, &[t(0)]));
+        assert!(!naive_matches(&g, &[t(0), t(1), t(2)]));
+    }
+
+    #[test]
+    fn recursion_right() {
+        // μx. a·x ∨ b — strings aⁿb
+        let g = Cfe::fix(|x| tok(0).then(x, |a, b| a + b).or(tok(1)));
+        assert!(naive_matches(&g, &[t(1)]));
+        assert!(naive_matches(&g, &[t(0), t(1)]));
+        assert!(naive_matches(&g, &[t(0), t(0), t(0), t(1)]));
+        assert!(!naive_matches(&g, &[t(0)]));
+        assert!(!naive_matches(&g, &[t(1), t(0)]));
+    }
+
+    #[test]
+    fn sexp_language() {
+        let (atom, lpar, rpar) = (t(0), t(1), t(2));
+        let sexp: Cfe<i64> = Cfe::fix(|sexp| {
+            let sexps =
+                Cfe::fix(|sexps| Cfe::eps_with(|| 0).or(sexp.then(sexps, |a, b| a + b)));
+            Cfe::tok_val(lpar, 0)
+                .then(sexps, |_, n| n)
+                .then(Cfe::tok_val(rpar, 0), |n, _| n)
+                .or(Cfe::tok_val(atom, 1))
+        });
+        assert!(naive_matches(&sexp, &[atom]));
+        assert!(naive_matches(&sexp, &[lpar, rpar]));
+        assert!(naive_matches(&sexp, &[lpar, atom, atom, rpar]));
+        assert!(naive_matches(&sexp, &[lpar, lpar, rpar], ) == false);
+        assert!(naive_matches(&sexp, &[lpar, lpar, rpar, rpar]));
+        assert!(!naive_matches(&sexp, &[rpar]));
+        assert!(!naive_matches(&sexp, &[atom, atom]));
+    }
+
+    #[test]
+    fn star_language() {
+        let g = Cfe::star(tok(0), || 0, |a, b| a + b);
+        for n in 0..6 {
+            assert!(naive_matches(&g, &vec![t(0); n]));
+        }
+        assert!(!naive_matches(&g, &[t(0), t(1)]));
+    }
+}

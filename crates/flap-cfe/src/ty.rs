@@ -1,0 +1,184 @@
+//! The types of context-free expressions (Fig 2 of the flap paper,
+//! after Krishnaswami & Yallop 2019).
+//!
+//! A type is a triple `{Null; First; FLast}` overapproximating a
+//! language `L`:
+//!
+//! * `Null` — whether `ε ∈ L`;
+//! * `First` — tokens that can begin a string of `L`;
+//! * `FLast` — tokens that can *follow the last token* of a string of
+//!   `L` (Brüggemann-Klein & Wood's compositional alternative to the
+//!   traditional Follow set).
+//!
+//! Two side conditions drive the whole system: *separability*
+//! `τ₁ ⊛ τ₂` (sequencing is unambiguous) and *apartness* `τ₁ # τ₂`
+//! (alternatives don't overlap).
+
+use flap_lex::{Token, TokenSet};
+
+/// The type of a context-free expression: `{Null; First; FLast}`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Ty {
+    /// Whether the language may contain the empty string.
+    pub null: bool,
+    /// Overapproximation of the tokens beginning strings of the
+    /// language.
+    pub first: TokenSet,
+    /// Overapproximation of the tokens that may follow the final
+    /// token of a string of the language.
+    pub flast: TokenSet,
+}
+
+impl Ty {
+    /// `τ_ε = {Null = true; First = ∅; FLast = ∅}`.
+    pub fn eps() -> Ty {
+        Ty { null: true, first: TokenSet::EMPTY, flast: TokenSet::EMPTY }
+    }
+
+    /// `τ_t = {Null = false; First = {t}; FLast = ∅}`.
+    pub fn tok(t: Token) -> Ty {
+        Ty { null: false, first: TokenSet::single(t), flast: TokenSet::EMPTY }
+    }
+
+    /// `τ_⊥ = {Null = false; First = ∅; FLast = ∅}`.
+    ///
+    /// Also the bottom of the type lattice, used to start the
+    /// fixed-point iteration for `μ`.
+    pub fn bot() -> Ty {
+        Ty { null: false, first: TokenSet::EMPTY, flast: TokenSet::EMPTY }
+    }
+
+    /// `τ₁ · τ₂` (sequencing).
+    pub fn seq(&self, other: &Ty) -> Ty {
+        Ty {
+            null: self.null && other.null,
+            first: self.first.union(&cond(self.null, other.first)),
+            flast: other.flast.union(&cond(
+                other.null,
+                other.first.union(&self.flast),
+            )),
+        }
+    }
+
+    /// `τ₁ ∨ τ₂` (alternation); this is also the lattice join used by
+    /// the `μ` fixed point.
+    pub fn alt(&self, other: &Ty) -> Ty {
+        Ty {
+            null: self.null || other.null,
+            first: self.first.union(&other.first),
+            flast: self.flast.union(&other.flast),
+        }
+    }
+
+    /// Separability `τ₁ ⊛ τ₂`:
+    /// `τ₁.FLast ∩ τ₂.First = ∅ ∧ ¬τ₁.Null`.
+    ///
+    /// Guarantees that a string matched by `g₁·g₂` decomposes
+    /// uniquely, and that `g₁` consumes at least one token (which is
+    /// what lets `g₂` use μ-bound variables).
+    pub fn separable(&self, other: &Ty) -> bool {
+        self.flast.is_disjoint(&other.first) && !self.null
+    }
+
+    /// Apartness `τ₁ # τ₂`:
+    /// `τ₁.First ∩ τ₂.First = ∅ ∧ ¬(τ₁.Null ∧ τ₂.Null)`.
+    ///
+    /// Guarantees that the branches of `g₁ ∨ g₂` can be distinguished
+    /// with one token of lookahead.
+    pub fn apart(&self, other: &Ty) -> bool {
+        self.first.is_disjoint(&other.first) && !(self.null && other.null)
+    }
+
+    /// Lattice order: `self ≤ other` pointwise.
+    pub fn le(&self, other: &Ty) -> bool {
+        (!self.null || other.null)
+            && self.first.is_subset(&other.first)
+            && self.flast.is_subset(&other.flast)
+    }
+}
+
+/// `b ? S` from Fig 2: `S` if `b` else `∅`.
+fn cond(b: bool, s: TokenSet) -> TokenSet {
+    if b {
+        s
+    } else {
+        TokenSet::EMPTY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: usize) -> Token {
+        Token::from_index(i)
+    }
+
+    #[test]
+    fn constants() {
+        assert!(Ty::eps().null);
+        assert!(Ty::eps().first.is_empty());
+        let tt = Ty::tok(t(3));
+        assert!(!tt.null);
+        assert!(tt.first.contains(t(3)));
+        assert_eq!(tt.first.len(), 1);
+        assert_eq!(Ty::bot(), Ty::default());
+    }
+
+    #[test]
+    fn seq_first_depends_on_nullability() {
+        let a = Ty::tok(t(0));
+        let b = Ty::tok(t(1));
+        let ab = a.seq(&b);
+        assert!(!ab.null);
+        assert!(ab.first.contains(t(0)) && !ab.first.contains(t(1)));
+        // nullable head exposes the second First set
+        let oa = Ty::eps().alt(&a); // a?
+        let oab = oa.seq(&b);
+        assert!(oab.first.contains(t(0)) && oab.first.contains(t(1)));
+    }
+
+    #[test]
+    fn seq_flast_accumulates_through_nullable_tail() {
+        let a = Ty::tok(t(0));
+        let b = Ty::tok(t(1));
+        let ob = Ty::eps().alt(&b); // b?
+        let s = a.seq(&ob);
+        // tail nullable: FLast includes tail First and head FLast
+        assert!(s.flast.contains(t(1)));
+        let s2 = a.seq(&b);
+        assert!(s2.flast.is_empty());
+    }
+
+    #[test]
+    fn alt_is_join() {
+        let a = Ty::tok(t(0));
+        let b = Ty::tok(t(1));
+        let j = a.alt(&b);
+        assert!(a.le(&j) && b.le(&j));
+        assert!(!j.le(&a));
+        assert!(Ty::bot().le(&a) && Ty::bot().le(&Ty::eps()));
+    }
+
+    #[test]
+    fn separability() {
+        let a = Ty::tok(t(0));
+        let b = Ty::tok(t(1));
+        assert!(a.separable(&b));
+        assert!(!Ty::eps().separable(&a), "nullable head is not separable");
+        // head whose FLast meets tail's First
+        let mut h = Ty::tok(t(0));
+        h.flast = TokenSet::single(t(1));
+        assert!(!h.separable(&b));
+    }
+
+    #[test]
+    fn apartness() {
+        let a = Ty::tok(t(0));
+        let b = Ty::tok(t(1));
+        assert!(a.apart(&b));
+        assert!(!a.apart(&a), "same First is not apart");
+        assert!(a.apart(&Ty::eps()));
+        assert!(!Ty::eps().apart(&Ty::eps()), "two nullables are not apart");
+    }
+}

@@ -1,0 +1,164 @@
+//! The expansion relation of Definition 1, as a bounded enumerator.
+//!
+//! `G ⊢ n ↝ w` holds when the leftmost expansion of `n` can reach the
+//! complete word `w`. [`expand_words`] enumerates all such words up
+//! to a length bound — the executable counterpart of the soundness
+//! statement (Theorem 3.8): `w ∈ ⟦g⟧ ⟺ G ⊢ n ↝ w`, which the
+//! integration tests check against `flap_cfe::naive_matches`.
+
+use std::collections::{BTreeSet, HashSet};
+
+use flap_lex::Token;
+
+use crate::grammar::{Grammar, Lead, NtId};
+
+/// Enumerates every word of length ≤ `max_len` expandable from the
+/// start symbol (Definition 1, restricted to complete words).
+///
+/// Intended for small grammars in tests; the state space is pruned by
+/// the length bound but can still be exponential in it.
+pub fn expand_words<V>(g: &Grammar<V>, max_len: usize) -> BTreeSet<Vec<Token>> {
+    let mut out = BTreeSet::new();
+    // State: tokens emitted so far + pending nonterminal stack
+    // (leftmost first).
+    let mut seen: HashSet<(Vec<Token>, Vec<NtId>)> = HashSet::new();
+    let mut work: Vec<(Vec<Token>, Vec<NtId>)> = vec![(Vec::new(), vec![g.start()])];
+    while let Some((word, stack)) = work.pop() {
+        if !seen.insert((word.clone(), stack.clone())) {
+            continue;
+        }
+        let Some((&n, rest)) = stack.split_first() else {
+            out.insert(word);
+            continue;
+        };
+        let entry = g.entry(n);
+        if !entry.eps.is_empty() {
+            work.push((word.clone(), rest.to_vec()));
+        }
+        for p in &entry.prods {
+            let t = match p.lead {
+                Lead::Tok(t) => t,
+                Lead::Var(_) => continue, // internal form never expands
+            };
+            if word.len() >= max_len {
+                continue;
+            }
+            let mut w2 = word.clone();
+            w2.push(t);
+            let mut s2 = p.tail.clone();
+            s2.extend_from_slice(rest);
+            work.push((w2, s2));
+        }
+    }
+    out
+}
+
+/// Decides `G ⊢ n ↝ w` for a specific word by bounded expansion.
+pub fn expands_to<V>(g: &Grammar<V>, w: &[Token]) -> bool {
+    expand_words(g, w.len()).contains(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normalize::normalize;
+    use flap_cfe::{naive_matches, Cfe};
+
+    fn t(i: usize) -> Token {
+        Token::from_index(i)
+    }
+
+    #[test]
+    fn enumerates_anb() {
+        // μx. a·x ∨ b — words aⁿb
+        let g: Cfe<i64> =
+            Cfe::fix(|x| Cfe::tok_val(t(0), 0).then(x, |a, b| a + b).or(Cfe::tok_val(t(1), 0)));
+        let gram = normalize(&g).unwrap();
+        let words = expand_words(&gram, 4);
+        let expect: BTreeSet<Vec<Token>> = [
+            vec![t(1)],
+            vec![t(0), t(1)],
+            vec![t(0), t(0), t(1)],
+            vec![t(0), t(0), t(0), t(1)],
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(words, expect);
+    }
+
+    #[test]
+    fn agrees_with_naive_semantics_on_sexp() {
+        // Theorem 3.8 on the running example, exhaustively to length 6.
+        let (atom, lpar, rpar) = (t(0), t(1), t(2));
+        let sexp: Cfe<i64> = Cfe::fix(|sexp| {
+            let sexps =
+                Cfe::fix(|sexps| Cfe::eps_with(|| 0).or(sexp.then(sexps, |a, b| a + b)));
+            Cfe::tok_val(lpar, 0)
+                .then(sexps, |_, n| n)
+                .then(Cfe::tok_val(rpar, 0), |n, _| n)
+                .or(Cfe::tok_val(atom, 1))
+        });
+        let gram = normalize(&sexp).unwrap();
+        let max = 6;
+        let expanded = expand_words(&gram, max);
+        // enumerate all token strings up to length `max` over {atom,lpar,rpar}
+        let alphabet = [atom, lpar, rpar];
+        let mut all: Vec<Vec<Token>> = vec![vec![]];
+        for _ in 0..max {
+            let mut next = Vec::new();
+            for w in &all {
+                if w.len() == max {
+                    continue;
+                }
+                for &a in &alphabet {
+                    let mut w2 = w.clone();
+                    w2.push(a);
+                    next.push(w2);
+                }
+            }
+            all.extend(next);
+            all.dedup();
+        }
+        let mut uniq: BTreeSet<Vec<Token>> = all.into_iter().collect();
+        for w in std::mem::take(&mut uniq) {
+            let in_dgnf = expanded.contains(&w);
+            let in_sem = naive_matches(&sexp, &w);
+            assert_eq!(in_dgnf, in_sem, "disagreement on {:?}", w);
+        }
+    }
+
+    #[test]
+    fn expands_to_specific_words() {
+        let (atom, lpar, rpar) = (t(0), t(1), t(2));
+        let sexp: Cfe<i64> = Cfe::fix(|sexp| {
+            let sexps =
+                Cfe::fix(|sexps| Cfe::eps_with(|| 0).or(sexp.then(sexps, |a, b| a + b)));
+            Cfe::tok_val(lpar, 0)
+                .then(sexps, |_, n| n)
+                .then(Cfe::tok_val(rpar, 0), |n, _| n)
+                .or(Cfe::tok_val(atom, 1))
+        });
+        let gram = normalize(&sexp).unwrap();
+        assert!(expands_to(&gram, &[atom]));
+        assert!(expands_to(&gram, &[lpar, rpar]));
+        assert!(expands_to(&gram, &[lpar, atom, lpar, rpar, rpar]));
+        assert!(!expands_to(&gram, &[lpar, rpar, rpar]));
+        assert!(!expands_to(&gram, &[]));
+    }
+
+    #[test]
+    fn empty_language_expands_to_nothing() {
+        let g: Cfe<i64> = Cfe::bot();
+        let gram = normalize(&g).unwrap();
+        assert!(expand_words(&gram, 5).is_empty());
+    }
+
+    #[test]
+    fn epsilon_language() {
+        let g: Cfe<i64> = Cfe::eps(0);
+        let gram = normalize(&g).unwrap();
+        let words = expand_words(&gram, 3);
+        assert_eq!(words.len(), 1);
+        assert!(words.contains(&vec![]));
+    }
+}

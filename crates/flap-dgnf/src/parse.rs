@@ -1,0 +1,281 @@
+//! The DGNF parsing algorithm of Fig 8, over a materialized token
+//! sequence.
+//!
+//! `P` (parse one nonterminal) and `Q` (parse a sequence of
+//! nonterminals) become one loop over an explicit control stack;
+//! semantic values accumulate on a value stack that the productions'
+//! [`Reduce`](crate::Reduce) actions fold. This is both the executable
+//! specification for the fused/staged parsers downstream and the
+//! parsing half of the "normalized but unfused" baseline of §6
+//! (implementation (g)).
+
+use std::fmt;
+
+use flap_lex::{LexError, Lexeme, Token};
+
+use crate::grammar::{Grammar, NtId, Reduce};
+
+/// Parse failure for the token-level DGNF parser.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DgnfParseError {
+    /// The current nonterminal has no production for the next token
+    /// and no ε-production.
+    UnexpectedToken {
+        /// The offending token.
+        token: Token,
+        /// Byte offset of the offending lexeme.
+        pos: usize,
+        /// The nonterminal being parsed.
+        nt: NtId,
+    },
+    /// Input ended while a non-nullable nonterminal was pending.
+    UnexpectedEof {
+        /// The nonterminal being parsed.
+        nt: NtId,
+    },
+    /// Parsing succeeded but tokens remained.
+    TrailingInput {
+        /// Byte offset of the first unconsumed lexeme.
+        pos: usize,
+    },
+    /// The lexer failed before parsing could proceed.
+    Lex(LexError),
+}
+
+impl fmt::Display for DgnfParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DgnfParseError::UnexpectedToken { token, pos, nt } => {
+                write!(f, "unexpected token {:?} at byte {} while parsing {:?}", token, pos, nt)
+            }
+            DgnfParseError::UnexpectedEof { nt } => {
+                write!(f, "unexpected end of input while parsing {:?}", nt)
+            }
+            DgnfParseError::TrailingInput { pos } => {
+                write!(f, "trailing input at byte {}", pos)
+            }
+            DgnfParseError::Lex(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DgnfParseError {}
+
+impl From<LexError> for DgnfParseError {
+    fn from(e: LexError) -> Self {
+        DgnfParseError::Lex(e)
+    }
+}
+
+enum Ctl<'g, V> {
+    Nt(NtId),
+    Reduce(&'g Reduce<V>),
+}
+
+/// Parses `lexemes` (with lexeme bytes drawn from `input`) according
+/// to `g`, returning the semantic value.
+///
+/// Implements Fig 8 directly: for each pending nonterminal, commit to
+/// the unique production headed by the next token; fall back to the
+/// ε-production only when no headed production applies (DGNF's
+/// guarded-ε condition makes this deterministic).
+///
+/// # Errors
+///
+/// [`DgnfParseError`] on token mismatch, premature end of input, or
+/// trailing tokens.
+pub fn parse_tokens<V>(
+    g: &Grammar<V>,
+    input: &[u8],
+    lexemes: &[Lexeme],
+) -> Result<V, DgnfParseError> {
+    let mut control: Vec<Ctl<'_, V>> = vec![Ctl::Nt(g.start())];
+    let mut values: Vec<V> = Vec::new();
+    let mut idx = 0usize;
+    while let Some(ctl) = control.pop() {
+        match ctl {
+            Ctl::Reduce(r) => r.run(&mut values),
+            Ctl::Nt(n) => {
+                let entry = g.entry(n);
+                let next = lexemes.get(idx);
+                let headed = next.and_then(|lx| g.prod_for(n, lx.token));
+                match (headed, next) {
+                    (Some(p), Some(lx)) => {
+                        let act = p
+                            .tok_action
+                            .as_ref()
+                            .expect("token-led production carries a token action");
+                        values.push(act(lx.bytes(input)));
+                        control.push(Ctl::Reduce(&p.reduce));
+                        for &m in p.tail.iter().rev() {
+                            control.push(Ctl::Nt(m));
+                        }
+                        idx += 1;
+                    }
+                    _ => match entry.eps.first() {
+                        Some(e) => e.run(&mut values),
+                        None => {
+                            return Err(match next {
+                                Some(lx) => DgnfParseError::UnexpectedToken {
+                                    token: lx.token,
+                                    pos: lx.start,
+                                    nt: n,
+                                },
+                                None => DgnfParseError::UnexpectedEof { nt: n },
+                            });
+                        }
+                    },
+                }
+            }
+        }
+    }
+    if idx != lexemes.len() {
+        return Err(DgnfParseError::TrailingInput { pos: lexemes[idx].start });
+    }
+    debug_assert_eq!(values.len(), 1, "parse must produce exactly one value");
+    Ok(values.pop().expect("parse produced no value"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normalize::normalize;
+    use flap_cfe::Cfe;
+    use flap_lex::{CompiledLexer, Lexer, LexerBuilder};
+
+    fn sexp_setup() -> (Lexer, CompiledLexer, Grammar<i64>) {
+        let mut b = LexerBuilder::new();
+        let atom = b.token("atom", "[a-z]+").unwrap();
+        b.skip("[ \n]").unwrap();
+        let lpar = b.token("lpar", r"\(").unwrap();
+        let rpar = b.token("rpar", r"\)").unwrap();
+        let mut lexer = b.build().unwrap();
+        let clex = CompiledLexer::build(&mut lexer);
+        let sexp: Cfe<i64> = Cfe::fix(|sexp| {
+            let sexps =
+                Cfe::fix(|sexps| Cfe::eps_with(|| 0).or(sexp.then(sexps, |a, b| a + b)));
+            Cfe::tok_val(lpar, 0)
+                .then(sexps, |_, n| n)
+                .then(Cfe::tok_val(rpar, 0), |n, _| n)
+                .or(Cfe::tok_val(atom, 1))
+        });
+        flap_cfe::type_check(&sexp).unwrap();
+        let g = normalize(&sexp).unwrap();
+        g.check_dgnf().unwrap();
+        (lexer, clex, g)
+    }
+
+    fn count_atoms(input: &[u8]) -> Result<i64, DgnfParseError> {
+        let (_, clex, g) = sexp_setup();
+        let lexemes = clex.tokenize(input)?;
+        parse_tokens(&g, input, &lexemes)
+    }
+
+    #[test]
+    fn counts_atoms_in_sexps() {
+        assert_eq!(count_atoms(b"a").unwrap(), 1);
+        assert_eq!(count_atoms(b"()").unwrap(), 0);
+        assert_eq!(count_atoms(b"(a b c)").unwrap(), 3);
+        assert_eq!(count_atoms(b"(a (b (c d)) e)").unwrap(), 4 + 1);
+        assert_eq!(count_atoms(b"((((x))))").unwrap(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed_sexps() {
+        assert!(matches!(count_atoms(b""), Err(DgnfParseError::UnexpectedEof { .. })));
+        assert!(matches!(count_atoms(b"(a"), Err(DgnfParseError::UnexpectedEof { .. })));
+        assert!(matches!(count_atoms(b")"), Err(DgnfParseError::UnexpectedToken { .. })));
+        assert!(matches!(count_atoms(b"a b"), Err(DgnfParseError::TrailingInput { .. })));
+        assert!(matches!(count_atoms(b"(a))"), Err(DgnfParseError::TrailingInput { .. })));
+    }
+
+    #[test]
+    fn token_actions_see_lexemes() {
+        // numbers summed across a separator
+        let mut b = LexerBuilder::new();
+        let num = b.token("num", "[0-9]+").unwrap();
+        let plus = b.token("plus", r"\+").unwrap();
+        let mut lexer = b.build().unwrap();
+        let clex = CompiledLexer::build(&mut lexer);
+        let expr: Cfe<i64> = Cfe::sep_by1(
+            Cfe::tok_with(num, |lx| std::str::from_utf8(lx).unwrap().parse().unwrap()),
+            Cfe::tok_val(plus, 0),
+            || 0,
+            |a, b| a + b,
+        );
+        let g = normalize(&expr).unwrap();
+        g.check_dgnf().unwrap();
+        let input = b"1+20+300";
+        let lexemes = clex.tokenize(input).unwrap();
+        assert_eq!(parse_tokens(&g, input, &lexemes).unwrap(), 321);
+    }
+
+    #[test]
+    fn map_wraps_values() {
+        let mut b = LexerBuilder::new();
+        let num = b.token("num", "[0-9]+").unwrap();
+        let mut lexer = b.build().unwrap();
+        let clex = CompiledLexer::build(&mut lexer);
+        let expr: Cfe<i64> =
+            Cfe::tok_with(num, |lx| std::str::from_utf8(lx).unwrap().parse().unwrap())
+                .map(|v| v * 10);
+        let g = normalize(&expr).unwrap();
+        let input = b"7";
+        let lexemes = clex.tokenize(input).unwrap();
+        assert_eq!(parse_tokens(&g, input, &lexemes).unwrap(), 70);
+    }
+
+    #[test]
+    fn values_thread_through_fix_substitution() {
+        // μx. a·x ∨ b over tokens, counting a's and multiplying at each
+        // level to exercise non-commutative reduces: value = 2*inner+1
+        let mut b = LexerBuilder::new();
+        let a = b.token("a", "a").unwrap();
+        let end = b.token("b", "b").unwrap();
+        let mut lexer = b.build().unwrap();
+        let clex = CompiledLexer::build(&mut lexer);
+        let g: Cfe<i64> = Cfe::fix(|x| {
+            Cfe::tok_val(a, 0)
+                .then(x, |_, inner| 2 * inner + 1)
+                .or(Cfe::tok_val(end, 100))
+        });
+        let gram = normalize(&g).unwrap();
+        gram.check_dgnf().unwrap();
+        // "aab" → 2*(2*100+1)+1 = 403
+        let input = b"aab";
+        let lexemes = clex.tokenize(input).unwrap();
+        assert_eq!(parse_tokens(&gram, input, &lexemes).unwrap(), 403);
+    }
+
+    #[test]
+    fn string_building_actions() {
+        // Rebuild the input sexp text (without whitespace) — exercises
+        // owned, non-Copy values moving through the stack machinery.
+        let mut b = LexerBuilder::new();
+        let atom = b.token("atom", "[a-z]+").unwrap();
+        b.skip("[ \n]").unwrap();
+        let lpar = b.token("lpar", r"\(").unwrap();
+        let rpar = b.token("rpar", r"\)").unwrap();
+        let mut lexer = b.build().unwrap();
+        let clex = CompiledLexer::build(&mut lexer);
+        let sexp: Cfe<String> = Cfe::fix(|sexp| {
+            let sexps = Cfe::fix(|sexps| {
+                Cfe::eps_with(String::new).or(sexp.then(sexps, |a, b| {
+                    if b.is_empty() {
+                        a
+                    } else {
+                        format!("{a} {b}")
+                    }
+                }))
+            });
+            Cfe::tok_val(lpar, String::new())
+                .then(sexps, |_, n| n)
+                .then(Cfe::tok_val(rpar, String::new()), |n, _| format!("({n})"))
+                .or(Cfe::tok_with(atom, |lx| String::from_utf8(lx.to_vec()).unwrap()))
+        });
+        let g = normalize(&sexp).unwrap();
+        let input = b"(foo (bar  baz) ())";
+        let lexemes = clex.tokenize(input).unwrap();
+        assert_eq!(parse_tokens(&g, input, &lexemes).unwrap(), "(foo (bar baz) ())");
+    }
+}

@@ -1,0 +1,344 @@
+//! The parsing algorithm for fused grammars — Fig 9 of the paper,
+//! run directly with regex derivatives (unstaged).
+//!
+//! This combines the lexing loop of Fig 7 with the DGNF parsing loop
+//! of Fig 8: `F` scans one token's worth of characters for a single
+//! nonterminal, maintaining the set of live regex derivatives and the
+//! best match so far; `G` walks a stack of pending nonterminals. No
+//! token is ever materialized — on a completed match the production's
+//! actions run straight off the input slice.
+//!
+//! Being unstaged, every input character costs derivative computation
+//! and nullability checks; `flap-staged` removes exactly that cost.
+//! Benchmarking the two against each other isolates the contribution
+//! of staging (§6).
+
+use std::fmt;
+
+use flap_dgnf::{NtId, Reduce};
+use flap_regex::{RegexArena, RegexId};
+
+use crate::fuse::{FusedGrammar, FusedProd};
+
+/// Parse failure for fused parsing (byte-level positions: there are
+/// no tokens to report).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FusedParseError {
+    /// No production of the pending nonterminal matches the input at
+    /// `pos`, and the nonterminal has no ε-lookahead rule.
+    NoMatch {
+        /// Byte offset where the longest-match scan started.
+        pos: usize,
+        /// The nonterminal being parsed.
+        nt: NtId,
+    },
+    /// Parsing finished but non-skippable input remains.
+    TrailingInput {
+        /// Byte offset of the first unconsumed byte.
+        pos: usize,
+    },
+}
+
+impl fmt::Display for FusedParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FusedParseError::NoMatch { pos, nt } => {
+                write!(f, "parse error at byte {} (while parsing {:?})", pos, nt)
+            }
+            FusedParseError::TrailingInput { pos } => write!(f, "trailing input at byte {}", pos),
+        }
+    }
+}
+
+impl std::error::Error for FusedParseError {}
+
+enum Ctl<'g, V> {
+    Nt(NtId),
+    Reduce(&'g Reduce<V>),
+}
+
+/// The three continuations of Fig 9 (`no`, `back`, `on n̄`),
+/// specialized to production indices.
+#[derive(Clone, Copy)]
+enum K {
+    No,
+    Back,
+    On(usize),
+}
+
+/// Parses the whole input with the fused grammar, computing
+/// derivatives on the fly (the unstaged algorithm of §5.3).
+///
+/// Trailing skippable input (e.g. final whitespace) is consumed after
+/// the start symbol completes.
+///
+/// # Errors
+///
+/// [`FusedParseError`] on mismatch or trailing input.
+pub fn parse_fused<V>(
+    fg: &FusedGrammar<V>,
+    arena: &mut RegexArena,
+    skip: Option<RegexId>,
+    input: &[u8],
+) -> Result<V, FusedParseError> {
+    let mut control: Vec<Ctl<'_, V>> = vec![Ctl::Nt(fg.start())];
+    let mut values: Vec<V> = Vec::new();
+    let mut pos = 0usize;
+    // Reused scratch buffer for the live derivative set.
+    let mut live: Vec<(RegexId, usize)> = Vec::new();
+
+    while let Some(ctl) = control.pop() {
+        match ctl {
+            Ctl::Reduce(r) => r.run(&mut values),
+            Ctl::Nt(n) => {
+                let entry = fg.entry(n);
+                // F: scan one token for nonterminal `n`.
+                let tok_start = pos;
+                live.clear();
+                live.extend(entry.prods.iter().enumerate().map(|(i, p)| (p.regex, i)));
+                let mut k = if entry.eps.is_some() { K::Back } else { K::No };
+                let mut rs = pos;
+                let mut i = pos;
+                while i < input.len() && !live.is_empty() {
+                    let c = input[i];
+                    live.retain_mut(|(r, _)| {
+                        *r = arena.deriv(*r, c);
+                        *r != RegexArena::EMPTY
+                    });
+                    if live.is_empty() {
+                        break;
+                    }
+                    i += 1;
+                    let mut nullable = live.iter().filter(|&&(r, _)| arena.nullable(r));
+                    if let Some(&(_, idx)) = nullable.next() {
+                        debug_assert!(
+                            nullable.next().is_none(),
+                            "fused production regexes must be disjoint"
+                        );
+                        k = K::On(idx);
+                        rs = i;
+                    }
+                }
+                // Step(k, rs)
+                match k {
+                    K::No => return Err(FusedParseError::NoMatch { pos: tok_start, nt: n }),
+                    K::Back => {
+                        let (_, eps) = entry.eps.as_ref().expect("Back implies an ε rule");
+                        eps.run(&mut values);
+                        // consume nothing: pos stays at tok_start
+                        pos = tok_start;
+                    }
+                    K::On(idx) => {
+                        pos = rs;
+                        let FusedProd { token, .. } = &entry.prods[idx];
+                        match token {
+                            None => {
+                                // skip self-loop: retry the same
+                                // nonterminal after the skipped bytes
+                                control.push(Ctl::Nt(n));
+                            }
+                            Some(tok) => {
+                                values.push((tok.tok_action)(&input[tok_start..rs]));
+                                control.push(Ctl::Reduce(&tok.reduce));
+                                for &m in tok.tail.iter().rev() {
+                                    control.push(Ctl::Nt(m));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    pos = consume_trailing_skips(arena, skip, input, pos);
+    if pos != input.len() {
+        return Err(FusedParseError::TrailingInput { pos });
+    }
+    debug_assert_eq!(values.len(), 1, "parse must produce exactly one value");
+    Ok(values.pop().expect("parse produced no value"))
+}
+
+/// Consumes trailing skippable lexemes (whitespace after the last
+/// token), mirroring a conventional lexer's behaviour at end of
+/// input.
+pub(crate) fn consume_trailing_skips(
+    arena: &mut RegexArena,
+    skip: Option<RegexId>,
+    input: &[u8],
+    mut pos: usize,
+) -> usize {
+    let Some(skip) = skip else { return pos };
+    loop {
+        let mut r = skip;
+        let mut best: Option<usize> = None;
+        let mut i = pos;
+        while i < input.len() && r != RegexArena::EMPTY {
+            r = arena.deriv(r, input[i]);
+            i += 1;
+            if arena.nullable(r) {
+                best = Some(i);
+            }
+        }
+        match best {
+            Some(end) if end > pos => pos = end,
+            _ => return pos,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fuse::fuse;
+    use flap_cfe::Cfe;
+    use flap_dgnf::normalize;
+    use flap_lex::{Lexer, LexerBuilder};
+
+    fn sexp_setup() -> (Lexer, FusedGrammar<i64>) {
+        let mut b = LexerBuilder::new();
+        let atom = b.token("atom", "[a-z]+").unwrap();
+        b.skip("[ \n]").unwrap();
+        let lpar = b.token("lpar", r"\(").unwrap();
+        let rpar = b.token("rpar", r"\)").unwrap();
+        let mut lexer = b.build().unwrap();
+        let sexp: Cfe<i64> = Cfe::fix(|sexp| {
+            let sexps =
+                Cfe::fix(|sexps| Cfe::eps_with(|| 0).or(sexp.then(sexps, |a, b| a + b)));
+            Cfe::tok_val(lpar, 0)
+                .then(sexps, |_, n| n)
+                .then(Cfe::tok_val(rpar, 0), |n, _| n)
+                .or(Cfe::tok_val(atom, 1))
+        });
+        let g = normalize(&sexp).unwrap();
+        g.check_dgnf().unwrap();
+        let fused = fuse(&mut lexer, &g).unwrap();
+        (lexer, fused)
+    }
+
+    fn count(input: &[u8]) -> Result<i64, FusedParseError> {
+        let (mut lexer, fused) = sexp_setup();
+        let skip = lexer.skip_regex();
+        parse_fused(&fused, lexer.arena_mut(), skip, input)
+    }
+
+    #[test]
+    fn parses_sexps_without_tokens() {
+        assert_eq!(count(b"a").unwrap(), 1);
+        assert_eq!(count(b"()").unwrap(), 0);
+        assert_eq!(count(b"(a b c)").unwrap(), 3);
+        assert_eq!(count(b"(a (b (c d)) e)").unwrap(), 5);
+        assert_eq!(count(b"  ( a\n(b) )  ").unwrap(), 2);
+        assert_eq!(count(b"((((x))))").unwrap(), 1);
+    }
+
+    #[test]
+    fn longest_match_inside_fusion() {
+        // "ab" must lex as one atom, not two
+        assert_eq!(count(b"(ab)").unwrap(), 1);
+        assert_eq!(count(b"(a b)").unwrap(), 2);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(matches!(count(b""), Err(FusedParseError::NoMatch { .. })));
+        assert!(matches!(count(b"(a"), Err(FusedParseError::NoMatch { .. })));
+        assert!(matches!(count(b")"), Err(FusedParseError::NoMatch { .. })));
+        assert!(matches!(count(b"a b"), Err(FusedParseError::TrailingInput { .. })));
+        assert!(matches!(count(b"(a) !"), Err(FusedParseError::TrailingInput { .. })));
+    }
+
+    #[test]
+    fn trailing_whitespace_is_consumed() {
+        assert_eq!(count(b"a   \n ").unwrap(), 1);
+        assert_eq!(count(b"(a)\n").unwrap(), 1);
+    }
+
+    #[test]
+    fn agrees_with_token_level_parser() {
+        let (mut lexer, fused) = sexp_setup();
+        // rebuild the token-level pipeline for the differential check
+        let mut b = LexerBuilder::new();
+        b.token("atom", "[a-z]+").unwrap();
+        b.skip("[ \n]").unwrap();
+        b.token("lpar", r"\(").unwrap();
+        b.token("rpar", r"\)").unwrap();
+        let mut lexer2 = b.build().unwrap();
+        let clex = flap_lex::CompiledLexer::build(&mut lexer2);
+        let atom = flap_lex::Token::from_index(0);
+        let lpar = flap_lex::Token::from_index(1);
+        let rpar = flap_lex::Token::from_index(2);
+        let sexp: Cfe<i64> = Cfe::fix(|sexp| {
+            let sexps =
+                Cfe::fix(|sexps| Cfe::eps_with(|| 0).or(sexp.then(sexps, |a, b| a + b)));
+            Cfe::tok_val(lpar, 0)
+                .then(sexps, |_, n| n)
+                .then(Cfe::tok_val(rpar, 0), |n, _| n)
+                .or(Cfe::tok_val(atom, 1))
+        });
+        let g = normalize(&sexp).unwrap();
+        for input in [
+            &b"a"[..],
+            b"()",
+            b"(a b c)",
+            b"((a) (b c) ())",
+            b"(a",
+            b")",
+            b"",
+            b"a b",
+        ] {
+            let skip = lexer.skip_regex();
+            let fused_res = parse_fused(&fused, lexer.arena_mut(), skip, input);
+            let tok_res = clex
+                .tokenize(input)
+                .map_err(|e| e.pos)
+                .and_then(|lx| flap_dgnf::parse_tokens(&g, input, &lx).map_err(|_| usize::MAX));
+            assert_eq!(
+                fused_res.is_ok(),
+                tok_res.is_ok(),
+                "fused and token-level disagree on {:?}",
+                input
+            );
+            if let (Ok(a), Ok(b)) = (&fused_res, &tok_res) {
+                assert_eq!(a, b, "values disagree on {:?}", input);
+            }
+        }
+    }
+
+    #[test]
+    fn fig_3e_shape() {
+        // Fig 3e / Table 1: the fused s-expression grammar has 9
+        // productions over 3 nonterminals.
+        let (_, fused) = sexp_setup();
+        assert_eq!(fused.nt_count(), 3);
+        assert_eq!(fused.prod_count(), 9);
+        // sexp: 2 token prods + skip, no lookahead
+        let start = fused.entry(fused.start());
+        assert_eq!(start.prods.len(), 3);
+        assert!(start.eps.is_none());
+        assert_eq!(start.prods.iter().filter(|p| p.token.is_none()).count(), 1);
+    }
+
+    #[test]
+    fn csv_quoted_fields_fused() {
+        // multi-character lookahead ("" vs ") straight off bytes
+        let mut b = LexerBuilder::new();
+        let field = b.token("field", "\"([^\"]|\"\")*\"").unwrap();
+        let comma = b.token("comma", ",").unwrap();
+        let mut lexer = b.build().unwrap();
+        // field (, field)* — count fields
+        let row: Cfe<i64> = Cfe::sep_by1(
+            Cfe::tok_val(field, 1),
+            Cfe::tok_val(comma, 0),
+            || 0,
+            |a, b| a + b,
+        );
+        let g = normalize(&row).unwrap();
+        let fused = fuse(&mut lexer, &g).unwrap();
+        let skip = lexer.skip_regex();
+        assert_eq!(
+            parse_fused(&fused, lexer.arena_mut(), skip, b"\"a\",\"b\"\"c\",\"\"").unwrap(),
+            3
+        );
+        assert!(parse_fused(&fused, lexer.arena_mut(), skip, b"\"a\",").is_err());
+    }
+}

@@ -1,0 +1,661 @@
+//! Benchmark (6): a mini language with arithmetic, comparison,
+//! binding and branching, evaluated to an `i64`.
+//!
+//! ```text
+//! expr ::= let IDENT = expr in expr
+//!        | if expr then expr else expr
+//!        | cmp
+//! cmp  ::= add ((< | = | >) add)?
+//! add  ::= mul ((+ | -) mul)*          (right-associative folds)
+//! mul  ::= atom ((* | /) atom)*        (right-associative folds)
+//! atom ::= NUM | IDENT | ( expr )
+//! ```
+//!
+//! Binary operators associate to the *right* (the natural shape of
+//! the typed-CFE encoding `μa. ε ∨ op·mul·a`); the reference parser
+//! and the generator use the same convention, so all implementations
+//! agree. Division is total (`x / 0 = 0`), unbound variables read as
+//! `0`, and `if` branches on non-zero.
+
+use std::collections::HashMap;
+
+use flap::{Cfe, Lexer, LexerBuilder, Token};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::GrammarDef;
+
+/// Binary operators of the mini language.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `<`
+    Lt,
+    /// `=`
+    Eq,
+    /// `>`
+    Gt,
+}
+
+/// Abstract syntax of the mini language — the parse value type.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Ast {
+    /// Integer literal.
+    Num(i64),
+    /// Variable reference.
+    Var(String),
+    /// Binary operation.
+    Bin(Op, Box<Ast>, Box<Ast>),
+    /// `let x = e1 in e2`.
+    Let(String, Box<Ast>, Box<Ast>),
+    /// `if c then t else e` (non-zero is true).
+    If(Box<Ast>, Box<Ast>, Box<Ast>),
+    /// Internal marker: an absent optional tail (`cmp` without a
+    /// comparison). Never escapes a completed parse.
+    NoTail,
+    /// Internal marker: a pending operator tail. Never escapes a
+    /// completed parse.
+    Tail(Op, Box<Ast>),
+}
+
+/// Evaluates an expression (total semantics; see module docs).
+pub fn eval(ast: &Ast) -> i64 {
+    fn go(ast: &Ast, env: &mut HashMap<String, Vec<i64>>) -> i64 {
+        match ast {
+            Ast::Num(n) => *n,
+            Ast::Var(x) => env.get(x).and_then(|v| v.last().copied()).unwrap_or(0),
+            Ast::Bin(op, a, b) => {
+                let (a, b) = (go(a, env), go(b, env));
+                match op {
+                    Op::Add => a.wrapping_add(b),
+                    Op::Sub => a.wrapping_sub(b),
+                    Op::Mul => a.wrapping_mul(b),
+                    Op::Div => {
+                        if b == 0 {
+                            0
+                        } else {
+                            a.wrapping_div(b)
+                        }
+                    }
+                    Op::Lt => i64::from(a < b),
+                    Op::Eq => i64::from(a == b),
+                    Op::Gt => i64::from(a > b),
+                }
+            }
+            Ast::Let(x, e1, e2) => {
+                let v = go(e1, env);
+                env.entry(x.clone()).or_default().push(v);
+                let r = go(e2, env);
+                env.get_mut(x).expect("just pushed").pop();
+                r
+            }
+            Ast::If(c, t, e) => {
+                if go(c, env) != 0 {
+                    go(t, env)
+                } else {
+                    go(e, env)
+                }
+            }
+            Ast::NoTail | Ast::Tail(..) => unreachable!("internal marker escaped the parser"),
+        }
+    }
+    go(ast, &mut HashMap::new())
+}
+
+/// Dense token indices, in lexer declaration order.
+#[derive(Clone, Copy, Debug)]
+pub struct Tokens {
+    /// `let`
+    pub klet: Token,
+    /// `in`
+    pub kin: Token,
+    /// `if`
+    pub kif: Token,
+    /// `then`
+    pub kthen: Token,
+    /// `else`
+    pub kelse: Token,
+    /// `[a-z][a-z0-9]*` minus the keywords
+    pub ident: Token,
+    /// `[0-9]+`
+    pub num: Token,
+    /// `+`
+    pub plus: Token,
+    /// `-`
+    pub minus: Token,
+    /// `*`
+    pub star: Token,
+    /// `/`
+    pub slash: Token,
+    /// `<`
+    pub lt: Token,
+    /// `=`
+    pub eq: Token,
+    /// `>`
+    pub gt: Token,
+    /// `(`
+    pub lparen: Token,
+    /// `)`
+    pub rparen: Token,
+}
+
+/// The stable token handles for this grammar.
+pub fn tokens() -> Tokens {
+    let t = Token::from_index;
+    Tokens {
+        klet: t(0),
+        kin: t(1),
+        kif: t(2),
+        kthen: t(3),
+        kelse: t(4),
+        ident: t(5),
+        num: t(6),
+        plus: t(7),
+        minus: t(8),
+        star: t(9),
+        slash: t(10),
+        lt: t(11),
+        eq: t(12),
+        gt: t(13),
+        lparen: t(14),
+        rparen: t(15),
+    }
+}
+
+/// The arith lexer: keywords take priority over identifiers
+/// (canonicalization subtracts them, so `letter` lexes as an ident
+/// while `let` does not).
+pub fn lexer() -> Lexer {
+    let mut b = LexerBuilder::new();
+    b.token_literal("let", "let").expect("valid");
+    b.token_literal("in", "in").expect("valid");
+    b.token_literal("if", "if").expect("valid");
+    b.token_literal("then", "then").expect("valid");
+    b.token_literal("else", "else").expect("valid");
+    b.token("ident", "[a-z][a-z0-9]*").expect("valid pattern");
+    b.token("num", "[0-9]+").expect("valid pattern");
+    b.token_literal("plus", "+").expect("valid");
+    b.token_literal("minus", "-").expect("valid");
+    b.token_literal("star", "*").expect("valid");
+    b.token_literal("slash", "/").expect("valid");
+    b.token_literal("lt", "<").expect("valid");
+    b.token_literal("eq", "=").expect("valid");
+    b.token_literal("gt", ">").expect("valid");
+    b.token_literal("lparen", "(").expect("valid");
+    b.token_literal("rparen", ")").expect("valid");
+    b.skip("[ \t\n]").expect("valid pattern");
+    b.build().expect("arith lexer canonicalizes")
+}
+
+fn ident_action(lx: &[u8]) -> Ast {
+    Ast::Var(String::from_utf8(lx.to_vec()).expect("idents are ASCII"))
+}
+
+fn num_action(lx: &[u8]) -> Ast {
+    let s = std::str::from_utf8(lx).expect("numbers are ASCII");
+    Ast::Num(s.parse().unwrap_or(i64::MAX))
+}
+
+fn apply_tail(head: Ast, tail: Ast) -> Ast {
+    match tail {
+        Ast::NoTail => head,
+        Ast::Tail(op, rhs) => Ast::Bin(op, Box::new(head), rhs),
+        other => unreachable!("unexpected tail {other:?}"),
+    }
+}
+
+/// The expression grammar, building [`Ast`] values.
+pub fn cfe() -> Cfe<Ast> {
+    let t = tokens();
+    Cfe::fix(move |expr| {
+        // atom ::= NUM | IDENT | ( expr )
+        let atom = Cfe::tok_with(t.num, num_action)
+            .or(Cfe::tok_with(t.ident, ident_action))
+            .or(Cfe::tok_val(t.lparen, Ast::NoTail)
+                .then(expr.clone(), |_, e| e)
+                .then(Cfe::tok_val(t.rparen, Ast::NoTail), |e, _| e));
+        // muls ::= μa. ε ∨ (*|/) atom a
+        let muls = {
+            let atom = atom.clone();
+            Cfe::fix(move |a| {
+                let op =
+                    Cfe::tok_val(t.star, Ast::Num(0)).map(|_| Ast::Tail(Op::Mul, Box::new(Ast::NoTail)))
+                        .or(Cfe::tok_val(t.slash, Ast::Num(0))
+                            .map(|_| Ast::Tail(Op::Div, Box::new(Ast::NoTail))));
+                Cfe::eps(Ast::NoTail).or(op
+                    .then(atom.clone(), |op_marker, rhs| match op_marker {
+                        Ast::Tail(op, _) => Ast::Tail(op, Box::new(rhs)),
+                        other => unreachable!("unexpected marker {other:?}"),
+                    })
+                    .then(a, |tail, more| match tail {
+                        Ast::Tail(op, rhs) => Ast::Tail(op, Box::new(apply_tail(*rhs, more))),
+                        other => unreachable!("unexpected tail {other:?}"),
+                    }))
+            })
+        };
+        let mul = atom.then(muls, apply_tail);
+        // adds ::= μa. ε ∨ (+|-) mul a
+        let adds = {
+            let mul = mul.clone();
+            Cfe::fix(move |a| {
+                let op = Cfe::tok_val(t.plus, Ast::Num(0))
+                    .map(|_| Ast::Tail(Op::Add, Box::new(Ast::NoTail)))
+                    .or(Cfe::tok_val(t.minus, Ast::Num(0))
+                        .map(|_| Ast::Tail(Op::Sub, Box::new(Ast::NoTail))));
+                Cfe::eps(Ast::NoTail).or(op
+                    .then(mul.clone(), |op_marker, rhs| match op_marker {
+                        Ast::Tail(op, _) => Ast::Tail(op, Box::new(rhs)),
+                        other => unreachable!("unexpected marker {other:?}"),
+                    })
+                    .then(a, |tail, more| match tail {
+                        Ast::Tail(op, rhs) => Ast::Tail(op, Box::new(apply_tail(*rhs, more))),
+                        other => unreachable!("unexpected tail {other:?}"),
+                    }))
+            })
+        };
+        let add = mul.then(adds, apply_tail);
+        // cmp ::= add ((<|=|>) add)?
+        let cmp_tail = {
+            let add = add.clone();
+            let op = Cfe::tok_val(t.lt, Ast::Num(0)).map(|_| Ast::Tail(Op::Lt, Box::new(Ast::NoTail)))
+                .or(Cfe::tok_val(t.eq, Ast::Num(0)).map(|_| Ast::Tail(Op::Eq, Box::new(Ast::NoTail))))
+                .or(Cfe::tok_val(t.gt, Ast::Num(0)).map(|_| Ast::Tail(Op::Gt, Box::new(Ast::NoTail))));
+            Cfe::eps(Ast::NoTail).or(op.then(add, |op_marker, rhs| match op_marker {
+                Ast::Tail(op, _) => Ast::Tail(op, Box::new(rhs)),
+                other => unreachable!("unexpected marker {other:?}"),
+            }))
+        };
+        let cmp = add.then(cmp_tail, apply_tail);
+        // let / if / cmp
+        let let_expr = Cfe::tok_val(t.klet, Ast::NoTail)
+            .then(Cfe::tok_with(t.ident, ident_action), |_, x| x)
+            .then(Cfe::tok_val(t.eq, Ast::NoTail), |x, _| x)
+            .then(expr.clone(), |x, e1| Ast::Let(
+                match x {
+                    Ast::Var(name) => name,
+                    other => unreachable!("unexpected binder {other:?}"),
+                },
+                Box::new(e1),
+                Box::new(Ast::NoTail),
+            ))
+            .then(Cfe::tok_val(t.kin, Ast::NoTail), |l, _| l)
+            .then(expr.clone(), |l, e2| match l {
+                Ast::Let(x, e1, _) => Ast::Let(x, e1, Box::new(e2)),
+                other => unreachable!("unexpected let head {other:?}"),
+            });
+        let if_expr = Cfe::tok_val(t.kif, Ast::NoTail)
+            .then(expr.clone(), |_, c| c)
+            .then(Cfe::tok_val(t.kthen, Ast::NoTail), |c, _| c)
+            .then(expr.clone(), |c, th| Ast::If(Box::new(c), Box::new(th), Box::new(Ast::NoTail)))
+            .then(Cfe::tok_val(t.kelse, Ast::NoTail), |i, _| i)
+            .then(expr, |i, el| match i {
+                Ast::If(c, th, _) => Ast::If(c, th, Box::new(el)),
+                other => unreachable!("unexpected if head {other:?}"),
+            });
+        let_expr.or(if_expr).or(cmp)
+    })
+}
+
+/// Handwritten oracle: parses with an independent recursive-descent
+/// parser and evaluates.
+///
+/// # Errors
+///
+/// A message with a byte offset.
+pub fn reference(input: &[u8]) -> Result<i64, String> {
+    let ast = reference_ast(input)?;
+    Ok(eval(&ast))
+}
+
+/// The oracle's parse-only half (used by tests to compare ASTs).
+///
+/// # Errors
+///
+/// A message with a byte offset.
+pub fn reference_ast(input: &[u8]) -> Result<Ast, String> {
+    #[derive(Clone, Copy, PartialEq, Debug)]
+    enum Tk<'a> {
+        Kw(&'a str),
+        Ident(&'a str),
+        Num(i64),
+        Sym(u8),
+    }
+    // independent tokenizer
+    let mut toks: Vec<(Tk<'_>, usize)> = Vec::new();
+    let mut i = 0;
+    while i < input.len() {
+        let c = input[i];
+        match c {
+            b' ' | b'\t' | b'\n' => i += 1,
+            b'0'..=b'9' => {
+                let start = i;
+                while matches!(input.get(i), Some(b'0'..=b'9')) {
+                    i += 1;
+                }
+                let s = std::str::from_utf8(&input[start..i]).expect("digits");
+                toks.push((Tk::Num(s.parse().unwrap_or(i64::MAX)), start));
+            }
+            b'a'..=b'z' => {
+                let start = i;
+                while matches!(input.get(i), Some(b'a'..=b'z' | b'0'..=b'9')) {
+                    i += 1;
+                }
+                let s = std::str::from_utf8(&input[start..i]).expect("ascii");
+                if matches!(s, "let" | "in" | "if" | "then" | "else") {
+                    toks.push((Tk::Kw(s), start));
+                } else {
+                    toks.push((Tk::Ident(s), start));
+                }
+            }
+            b'+' | b'-' | b'*' | b'/' | b'<' | b'=' | b'>' | b'(' | b')' => {
+                toks.push((Tk::Sym(c), i));
+                i += 1;
+            }
+            other => return Err(format!("bad byte {:?} at {}", other as char, i)),
+        }
+    }
+    struct P<'a> {
+        toks: Vec<(Tk<'a>, usize)>,
+        i: usize,
+    }
+    impl<'a> P<'a> {
+        fn peek(&self) -> Option<Tk<'a>> {
+            self.toks.get(self.i).map(|&(t, _)| t)
+        }
+        fn pos(&self) -> usize {
+            self.toks.get(self.i).map(|&(_, p)| p).unwrap_or(usize::MAX)
+        }
+        fn expect_sym(&mut self, s: u8) -> Result<(), String> {
+            if self.peek() == Some(Tk::Sym(s)) {
+                self.i += 1;
+                Ok(())
+            } else {
+                Err(format!("expected {:?} at byte {}", s as char, self.pos()))
+            }
+        }
+        fn expect_kw(&mut self, k: &str) -> Result<(), String> {
+            if self.peek() == Some(Tk::Kw(k)) {
+                self.i += 1;
+                Ok(())
+            } else {
+                Err(format!("expected keyword {k} at byte {}", self.pos()))
+            }
+        }
+        fn expr(&mut self) -> Result<Ast, String> {
+            match self.peek() {
+                Some(Tk::Kw("let")) => {
+                    self.i += 1;
+                    let x = match self.peek() {
+                        Some(Tk::Ident(x)) => {
+                            self.i += 1;
+                            x.to_string()
+                        }
+                        _ => return Err(format!("expected ident at byte {}", self.pos())),
+                    };
+                    self.expect_sym(b'=')?;
+                    let e1 = self.expr()?;
+                    self.expect_kw("in")?;
+                    let e2 = self.expr()?;
+                    Ok(Ast::Let(x, Box::new(e1), Box::new(e2)))
+                }
+                Some(Tk::Kw("if")) => {
+                    self.i += 1;
+                    let c = self.expr()?;
+                    self.expect_kw("then")?;
+                    let t = self.expr()?;
+                    self.expect_kw("else")?;
+                    let e = self.expr()?;
+                    Ok(Ast::If(Box::new(c), Box::new(t), Box::new(e)))
+                }
+                _ => self.cmp(),
+            }
+        }
+        fn cmp(&mut self) -> Result<Ast, String> {
+            let lhs = self.add()?;
+            let op = match self.peek() {
+                Some(Tk::Sym(b'<')) => Op::Lt,
+                Some(Tk::Sym(b'=')) => Op::Eq,
+                Some(Tk::Sym(b'>')) => Op::Gt,
+                _ => return Ok(lhs),
+            };
+            self.i += 1;
+            let rhs = self.add()?;
+            Ok(Ast::Bin(op, Box::new(lhs), Box::new(rhs)))
+        }
+        fn add(&mut self) -> Result<Ast, String> {
+            // right-associative, matching the CFE encoding
+            let lhs = self.mul()?;
+            let op = match self.peek() {
+                Some(Tk::Sym(b'+')) => Op::Add,
+                Some(Tk::Sym(b'-')) => Op::Sub,
+                _ => return Ok(lhs),
+            };
+            self.i += 1;
+            let rhs = self.add()?;
+            Ok(Ast::Bin(op, Box::new(lhs), Box::new(rhs)))
+        }
+        fn mul(&mut self) -> Result<Ast, String> {
+            let lhs = self.atom()?;
+            let op = match self.peek() {
+                Some(Tk::Sym(b'*')) => Op::Mul,
+                Some(Tk::Sym(b'/')) => Op::Div,
+                _ => return Ok(lhs),
+            };
+            self.i += 1;
+            let rhs = self.mul()?;
+            Ok(Ast::Bin(op, Box::new(lhs), Box::new(rhs)))
+        }
+        fn atom(&mut self) -> Result<Ast, String> {
+            match self.peek() {
+                Some(Tk::Num(n)) => {
+                    self.i += 1;
+                    Ok(Ast::Num(n))
+                }
+                Some(Tk::Ident(x)) => {
+                    self.i += 1;
+                    Ok(Ast::Var(x.to_string()))
+                }
+                Some(Tk::Sym(b'(')) => {
+                    self.i += 1;
+                    let e = self.expr()?;
+                    self.expect_sym(b')')?;
+                    Ok(e)
+                }
+                _ => Err(format!("expected an atom at byte {}", self.pos())),
+            }
+        }
+    }
+    let mut p = P { toks, i: 0 };
+    let ast = p.expr()?;
+    if p.i == p.toks.len() {
+        Ok(ast)
+    } else {
+        Err(format!("trailing input at byte {}", p.pos()))
+    }
+}
+
+/// Generates one expression of roughly `target` bytes, with
+/// let-bound variables in scope, comparisons and branching.
+pub fn generate(seed: u64, target: usize) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(target + 64);
+    let mut scope: Vec<String> = Vec::new();
+    gen_expr(&mut rng, &mut out, &mut scope, target, 0);
+    out
+}
+
+fn fresh_name(rng: &mut StdRng) -> String {
+    let len = rng.random_range(1..6);
+    let mut s = String::new();
+    s.push(rng.random_range(b'a'..=b'z') as char);
+    for _ in 1..len {
+        s.push(rng.random_range(b'a'..=b'z') as char);
+    }
+    // avoid keywords
+    if matches!(s.as_str(), "let" | "in" | "if" | "then" | "else") {
+        s.push('x');
+    }
+    s
+}
+
+fn gen_expr(rng: &mut StdRng, out: &mut Vec<u8>, scope: &mut Vec<String>, budget: usize, depth: usize) {
+    if depth > 16 || out.len() >= budget {
+        gen_atom(rng, out, scope, budget, depth);
+        return;
+    }
+    match rng.random_range(0..10) {
+        0 | 1 => {
+            let x = fresh_name(rng);
+            out.extend_from_slice(b"let ");
+            out.extend_from_slice(x.as_bytes());
+            out.extend_from_slice(b" = ");
+            gen_expr(rng, out, scope, budget, depth + 1);
+            out.extend_from_slice(b" in ");
+            scope.push(x);
+            gen_expr(rng, out, scope, budget, depth + 1);
+            scope.pop();
+        }
+        2 => {
+            out.extend_from_slice(b"if ");
+            gen_expr(rng, out, scope, budget, depth + 1);
+            out.extend_from_slice(b" then ");
+            gen_expr(rng, out, scope, budget, depth + 1);
+            out.extend_from_slice(b" else ");
+            gen_expr(rng, out, scope, budget, depth + 1);
+        }
+        3 => {
+            // comparison
+            gen_add(rng, out, scope, budget, depth + 1);
+            out.extend_from_slice(match rng.random_range(0..3) {
+                0 => b" < ",
+                1 => b" = ",
+                _ => b" > ",
+            });
+            gen_add(rng, out, scope, budget, depth + 1);
+        }
+        _ => gen_add(rng, out, scope, budget, depth + 1),
+    }
+}
+
+fn gen_add(rng: &mut StdRng, out: &mut Vec<u8>, scope: &mut Vec<String>, budget: usize, depth: usize) {
+    gen_mul(rng, out, scope, budget, depth);
+    while rng.random_bool(0.4) && out.len() < budget {
+        out.extend_from_slice(if rng.random_bool(0.5) { b" + " } else { b" - " });
+        gen_mul(rng, out, scope, budget, depth);
+    }
+}
+
+fn gen_mul(rng: &mut StdRng, out: &mut Vec<u8>, scope: &mut Vec<String>, budget: usize, depth: usize) {
+    gen_atom(rng, out, scope, budget, depth);
+    while rng.random_bool(0.3) && out.len() < budget {
+        out.extend_from_slice(if rng.random_bool(0.7) { b" * " } else { b" / " });
+        gen_atom(rng, out, scope, budget, depth);
+    }
+}
+
+fn gen_atom(rng: &mut StdRng, out: &mut Vec<u8>, scope: &mut Vec<String>, budget: usize, depth: usize) {
+    if depth <= 16 && out.len() < budget && rng.random_bool(0.15) {
+        out.push(b'(');
+        gen_expr(rng, out, scope, budget, depth + 1);
+        out.push(b')');
+        return;
+    }
+    if !scope.is_empty() && rng.random_bool(0.4) {
+        let x = &scope[rng.random_range(0..scope.len())];
+        out.extend_from_slice(x.as_bytes());
+    } else {
+        out.extend_from_slice(rng.random_range(0..1000i64).to_string().as_bytes());
+    }
+}
+
+fn finish(ast: Ast) -> i64 {
+    eval(&ast)
+}
+
+/// The bundled definition for the benchmark harness.
+pub fn def() -> GrammarDef<Ast> {
+    GrammarDef { name: "arith", lexer, cfe, finish, generate, reference }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(input: &[u8]) -> i64 {
+        let p = def().flap_parser();
+        eval(&p.parse(input).unwrap())
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(run(b"1 + 2 * 3"), 7);
+        assert_eq!(run(b"(1 + 2) * 3"), 9);
+        assert_eq!(run(b"10 / 2"), 5);
+        assert_eq!(run(b"7 / 0"), 0);
+        assert_eq!(run(b"42"), 42);
+    }
+
+    #[test]
+    fn right_associativity_is_consistent() {
+        // 10 - 2 - 3 parses as 10 - (2 - 3) = 11 in this language
+        assert_eq!(run(b"10 - 2 - 3"), 11);
+        assert_eq!(reference(b"10 - 2 - 3").unwrap(), 11);
+    }
+
+    #[test]
+    fn comparisons_and_branches() {
+        assert_eq!(run(b"1 < 2"), 1);
+        assert_eq!(run(b"2 < 1"), 0);
+        assert_eq!(run(b"if 1 < 2 then 10 else 20"), 10);
+        assert_eq!(run(b"if 0 then 10 else 20"), 20);
+        assert_eq!(run(b"1 + 1 = 2"), 1);
+    }
+
+    #[test]
+    fn bindings() {
+        assert_eq!(run(b"let x = 3 in x * x"), 9);
+        assert_eq!(run(b"let x = 1 in let y = 2 in x + y"), 3);
+        assert_eq!(run(b"let x = 1 in let x = 2 in x"), 2, "shadowing");
+        assert_eq!(run(b"y"), 0, "unbound reads 0");
+        assert_eq!(run(b"let ifx = 5 in ifx"), 5, "keyword-prefixed ident");
+    }
+
+    #[test]
+    fn ast_matches_reference_exactly() {
+        let p = def().flap_parser();
+        for input in [
+            &b"1 + 2 * 3"[..],
+            b"let x = 3 in if x > 2 then x else 0",
+            b"(a + b) * (c - d)",
+            b"1 - 2 - 3 - 4",
+        ] {
+            assert_eq!(p.parse(input).unwrap(), reference_ast(input).unwrap());
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        let p = def().flap_parser();
+        for input in [&b"1 +"[..], b"let = 3 in x", b"if 1 then 2", b"(1", b"", b"1 2"] {
+            assert!(p.parse(input).is_err(), "{:?} should fail", String::from_utf8_lossy(input));
+            assert!(reference(input).is_err());
+        }
+    }
+
+    #[test]
+    fn generated_inputs_are_valid_and_agree() {
+        let p = def().flap_parser();
+        for seed in 0..5 {
+            let input = generate(seed, 2048);
+            let expect = reference(&input).expect("generator must produce valid expressions");
+            assert_eq!(eval(&p.parse(&input).unwrap()), expect, "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Benchmark (4): RFC 4180 CSV with mandatory terminating CRLF,
+//! returning the total number of cells.
+//!
+//! The lexer distinguishes escaped double-quotes `""` from closing
+//! quotes `"` — the feature that needs more than one character of
+//! lookahead and so has no `asp` implementation in the paper (§6).
+//!
+//! Empty cells make the grammar interesting for the typed-CFE
+//! fragment: a nullable *cell* cannot appear to the left of `·`, so
+//! the row structure is right-factored into a single recursion (see
+//! [`cfe`]).
+
+use flap::{Cfe, Lexer, LexerBuilder, Token};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::GrammarDef;
+
+/// Dense token indices, in lexer declaration order.
+#[derive(Clone, Copy, Debug)]
+pub struct Tokens {
+    /// Unquoted field text: `[^,"\r\n]+`.
+    pub text: Token,
+    /// Quoted field: `"([^"]|"")*"`.
+    pub quoted: Token,
+    /// `,`
+    pub comma: Token,
+    /// `\r\n`
+    pub crlf: Token,
+}
+
+/// The stable token handles for this grammar.
+pub fn tokens() -> Tokens {
+    Tokens {
+        text: Token::from_index(0),
+        quoted: Token::from_index(1),
+        comma: Token::from_index(2),
+        crlf: Token::from_index(3),
+    }
+}
+
+/// The CSV lexer. No skip rule: every byte belongs to some token.
+pub fn lexer() -> Lexer {
+    let mut b = LexerBuilder::new();
+    b.token("text", "[^,\"\r\n]+").expect("valid pattern");
+    b.token("quoted", "\"([^\"]|\"\")*\"").expect("valid pattern");
+    b.token("comma", ",").expect("valid pattern");
+    b.token("crlf", "\r\n").expect("valid pattern");
+    b.build().expect("csv lexer canonicalizes")
+}
+
+/// The CSV grammar, counting cells.
+///
+/// One line (`l`) is a sequence of possibly-empty cells separated by
+/// commas and terminated by CRLF; a file is one or more lines:
+///
+/// ```text
+/// l    ::= cell after | COMMA l | CRLF          (cell = TEXT | QUOTED)
+/// after ::= COMMA l | CRLF
+/// file ::= μf. l · (ε ∨ f)
+/// ```
+///
+/// The value of `l` is the number of cells in the rest of its line
+/// (a bare `CRLF` terminates the current — possibly empty — cell).
+pub fn cfe() -> Cfe<i64> {
+    let t = tokens();
+    let line = |_name: &str| {
+        Cfe::fix(move |l| {
+            let cell = Cfe::tok_val(t.text, 0).or(Cfe::tok_val(t.quoted, 0));
+            let after = Cfe::tok_val(t.comma, 0)
+                .then(l.clone(), |_, rest| 1 + rest)
+                .or(Cfe::tok_val(t.crlf, 1));
+            cell.then(after, |_, rest| rest)
+                .or(Cfe::tok_val(t.comma, 0).then(l, |_, rest| 1 + rest))
+                .or(Cfe::tok_val(t.crlf, 1))
+        })
+    };
+    Cfe::fix(move |file| {
+        line("l").then(Cfe::eps_with(|| 0).or(file), |cells, rest| cells + rest)
+    })
+}
+
+/// Handwritten oracle: validates RFC 4180 shape (with mandatory
+/// CRLF) and returns the total cell count.
+///
+/// # Errors
+///
+/// A message with a byte offset on malformed input (unterminated
+/// quote, bare CR/LF, missing final CRLF, …).
+pub fn reference(input: &[u8]) -> Result<i64, String> {
+    if input.is_empty() {
+        return Err("empty input (a CSV file has at least one CRLF-terminated row)".into());
+    }
+    let mut cells = 0i64;
+    let mut i = 0usize;
+    while i < input.len() {
+        // one row
+        loop {
+            // one cell
+            match input.get(i) {
+                Some(b'"') => {
+                    i += 1;
+                    loop {
+                        match input.get(i) {
+                            Some(b'"') if input.get(i + 1) == Some(&b'"') => i += 2,
+                            Some(b'"') => {
+                                i += 1;
+                                break;
+                            }
+                            Some(_) => i += 1,
+                            None => return Err(format!("unterminated quote at byte {i}")),
+                        }
+                    }
+                }
+                _ => {
+                    while let Some(&c) = input.get(i) {
+                        if c == b',' || c == b'"' || c == b'\r' || c == b'\n' {
+                            break;
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            cells += 1;
+            match input.get(i) {
+                Some(b',') => i += 1,
+                Some(b'\r') if input.get(i + 1) == Some(&b'\n') => {
+                    i += 2;
+                    break;
+                }
+                Some(c) => return Err(format!("unexpected byte {:?} at {}", *c as char, i)),
+                None => return Err("missing terminating CRLF".into()),
+            }
+        }
+    }
+    Ok(cells)
+}
+
+/// Generates roughly `target` bytes of CSV: a fixed column count per
+/// file, a random mix of numeric, textual, quoted (with embedded
+/// `""`, commas and newlines) and empty cells.
+pub fn generate(seed: u64, target: usize) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cols = rng.random_range(3..10);
+    let mut out = Vec::with_capacity(target + 128);
+    while out.len() < target {
+        for c in 0..cols {
+            if c > 0 {
+                out.push(b',');
+            }
+            match rng.random_range(0..10) {
+                0 => {} // empty cell
+                1 | 2 => {
+                    // quoted, possibly with tricky content
+                    out.push(b'"');
+                    for _ in 0..rng.random_range(0..12) {
+                        match rng.random_range(0..8) {
+                            0 => out.extend_from_slice(b"\"\""),
+                            1 => out.push(b','),
+                            2 => out.extend_from_slice(b"\r\n"),
+                            _ => out.push(rng.random_range(b'a'..=b'z')),
+                        }
+                    }
+                    out.push(b'"');
+                }
+                3 | 4 | 5 => {
+                    for _ in 0..rng.random_range(1..8) {
+                        out.push(rng.random_range(b'0'..=b'9'));
+                    }
+                }
+                _ => {
+                    for _ in 0..rng.random_range(1..10) {
+                        out.push(rng.random_range(b'a'..=b'z'));
+                    }
+                }
+            }
+        }
+        out.extend_from_slice(b"\r\n");
+    }
+    out
+}
+
+/// The bundled definition for the benchmark harness.
+pub fn def() -> GrammarDef<i64> {
+    GrammarDef { name: "csv", lexer, cfe, finish: |v| v, generate, reference }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_cells_including_empties() {
+        let p = def().flap_parser();
+        assert_eq!(p.parse(b"a,b,c\r\n").unwrap(), 3);
+        assert_eq!(p.parse(b"a,,c\r\n").unwrap(), 3);
+        assert_eq!(p.parse(b",\r\n").unwrap(), 2);
+        assert_eq!(p.parse(b"\r\n").unwrap(), 1);
+        assert_eq!(p.parse(b"a\r\nb\r\n").unwrap(), 2);
+        assert_eq!(p.parse(b"\"x,y\",z\r\n").unwrap(), 2);
+        assert_eq!(p.parse(b"\"a\"\"b\"\r\n").unwrap(), 1);
+        assert_eq!(p.parse(b"\"line\r\nbreak\"\r\n").unwrap(), 1);
+    }
+
+    #[test]
+    fn agrees_with_reference_on_fixtures() {
+        let p = def().flap_parser();
+        for input in [
+            &b"a,b,c\r\n"[..],
+            b"a,,c\r\n1,2,3\r\n",
+            b",\r\n",
+            b"\r\n",
+            b"\"a\"\"b\",\"c,d\"\r\n",
+            b"x\r\n\r\n",
+        ] {
+            assert_eq!(p.parse(input).ok(), reference(input).ok());
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        let p = def().flap_parser();
+        for input in [&b""[..], b"a,b", b"a\nb\r\n", b"\"unterminated\r\n", b"a\"b\r\n"] {
+            assert!(p.parse(input).is_err(), "{:?} should fail", String::from_utf8_lossy(input));
+            assert!(reference(input).is_err());
+        }
+    }
+
+    #[test]
+    fn generated_inputs_are_valid_and_agree() {
+        let p = def().flap_parser();
+        for seed in 0..5 {
+            let input = generate(seed, 4096);
+            let expect = reference(&input).expect("generator must produce valid CSV");
+            assert_eq!(p.parse(&input).unwrap(), expect, "seed {seed}");
+        }
+    }
+}

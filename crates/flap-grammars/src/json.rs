@@ -1,0 +1,459 @@
+//! Benchmark (5): JSON, using the grammar of Jonnalagedda et al.
+//! (OOPSLA 2014), returning the object count.
+
+use flap::{Cfe, Lexer, LexerBuilder, Token};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::GrammarDef;
+
+/// Dense token indices, in lexer declaration order.
+#[derive(Clone, Copy, Debug)]
+pub struct Tokens {
+    /// `{`
+    pub lbrace: Token,
+    /// `}`
+    pub rbrace: Token,
+    /// `[`
+    pub lbracket: Token,
+    /// `]`
+    pub rbracket: Token,
+    /// `:`
+    pub colon: Token,
+    /// `,`
+    pub comma: Token,
+    /// JSON string with escapes.
+    pub string: Token,
+    /// JSON number.
+    pub number: Token,
+    /// `true`
+    pub tru: Token,
+    /// `false`
+    pub fls: Token,
+    /// `null`
+    pub nul: Token,
+}
+
+/// The stable token handles for this grammar.
+pub fn tokens() -> Tokens {
+    Tokens {
+        lbrace: Token::from_index(0),
+        rbrace: Token::from_index(1),
+        lbracket: Token::from_index(2),
+        rbracket: Token::from_index(3),
+        colon: Token::from_index(4),
+        comma: Token::from_index(5),
+        string: Token::from_index(6),
+        number: Token::from_index(7),
+        tru: Token::from_index(8),
+        fls: Token::from_index(9),
+        nul: Token::from_index(10),
+    }
+}
+
+/// The JSON lexer: 11 tokens plus whitespace skipping (the paper
+/// reports 12 lexer rules for json).
+pub fn lexer() -> Lexer {
+    let mut b = LexerBuilder::new();
+    b.token_literal("lbrace", "{").expect("valid");
+    b.token_literal("rbrace", "}").expect("valid");
+    b.token_literal("lbracket", "[").expect("valid");
+    b.token_literal("rbracket", "]").expect("valid");
+    b.token_literal("colon", ":").expect("valid");
+    b.token_literal("comma", ",").expect("valid");
+    b.token("string", r#""([^"\\]|\\.)*""#).expect("valid pattern");
+    b.token("number", r"-?(0|[1-9][0-9]*)(\.[0-9]+)?((e|E)(\+|-)?[0-9]+)?")
+        .expect("valid pattern");
+    b.token_literal("true", "true").expect("valid");
+    b.token_literal("false", "false").expect("valid");
+    b.token_literal("null", "null").expect("valid");
+    b.skip("[ \t\n\r]").expect("valid pattern");
+    b.build().expect("json lexer canonicalizes")
+}
+
+/// The JSON value grammar, counting objects:
+///
+/// ```text
+/// value    ::= object | array | STRING | NUMBER | true | false | null
+/// object   ::= { members }        members  ::= ε | pair more*
+/// pair     ::= STRING : value     more     ::= , pair
+/// array    ::= [ elements ]       elements ::= ε | value (, value)*
+/// ```
+pub fn cfe() -> Cfe<i64> {
+    let t = tokens();
+    Cfe::fix(move |value| {
+        // pair ::= STRING : value
+        let pair = Cfe::tok_val(t.string, 0)
+            .then(Cfe::tok_val(t.colon, 0), |_, _| 0)
+            .then(value.clone(), |_, v| v);
+        // members ::= ε ∨ pair · (μm. ε ∨ , pair m)
+        let more_pairs = {
+            let pair = pair.clone();
+            Cfe::fix(move |m| {
+                Cfe::eps_with(|| 0).or(Cfe::tok_val(t.comma, 0)
+                    .then(pair.clone(), |_, v| v)
+                    .then(m, |a, b| a + b))
+            })
+        };
+        let members = Cfe::eps_with(|| 0).or(pair.then(more_pairs, |a, b| a + b));
+        let object = Cfe::tok_val(t.lbrace, 0)
+            .then(members, |_, n| n)
+            .then(Cfe::tok_val(t.rbrace, 0), |n, _| n + 1);
+        // elements ::= ε ∨ value · (μe. ε ∨ , value e)
+        let more_elems = {
+            let value = value.clone();
+            Cfe::fix(move |e| {
+                Cfe::eps_with(|| 0).or(Cfe::tok_val(t.comma, 0)
+                    .then(value.clone(), |_, v| v)
+                    .then(e, |a, b| a + b))
+            })
+        };
+        let elements = Cfe::eps_with(|| 0).or(value.then(more_elems, |a, b| a + b));
+        let array = Cfe::tok_val(t.lbracket, 0)
+            .then(elements, |_, n| n)
+            .then(Cfe::tok_val(t.rbracket, 0), |n, _| n);
+        object
+            .or(array)
+            .or(Cfe::tok_val(t.string, 0))
+            .or(Cfe::tok_val(t.number, 0))
+            .or(Cfe::tok_val(t.tru, 0))
+            .or(Cfe::tok_val(t.fls, 0))
+            .or(Cfe::tok_val(t.nul, 0))
+    })
+}
+
+/// Handwritten oracle: validates JSON and returns the object count.
+///
+/// # Errors
+///
+/// A message with a byte offset.
+pub fn reference(input: &[u8]) -> Result<i64, String> {
+    struct P<'a> {
+        s: &'a [u8],
+        i: usize,
+    }
+    impl P<'_> {
+        fn ws(&mut self) {
+            while matches!(self.s.get(self.i), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.i += 1;
+            }
+        }
+        fn lit(&mut self, lit: &[u8]) -> bool {
+            if self.s[self.i..].starts_with(lit) {
+                self.i += lit.len();
+                true
+            } else {
+                false
+            }
+        }
+        fn string(&mut self) -> Result<(), String> {
+            if self.s.get(self.i) != Some(&b'"') {
+                return Err(format!("expected string at byte {}", self.i));
+            }
+            self.i += 1;
+            loop {
+                match self.s.get(self.i) {
+                    Some(b'"') => {
+                        self.i += 1;
+                        return Ok(());
+                    }
+                    Some(b'\\') => {
+                        if self.s.get(self.i + 1).is_none() {
+                            return Err("dangling escape".into());
+                        }
+                        self.i += 2;
+                    }
+                    Some(_) => self.i += 1,
+                    None => return Err("unterminated string".into()),
+                }
+            }
+        }
+        fn number(&mut self) -> Result<(), String> {
+            let start = self.i;
+            self.lit(b"-");
+            if self.lit(b"0") {
+            } else {
+                let mut any = false;
+                while matches!(self.s.get(self.i), Some(b'0'..=b'9')) {
+                    self.i += 1;
+                    any = true;
+                }
+                if !any {
+                    return Err(format!("expected number at byte {start}"));
+                }
+            }
+            if self.lit(b".") {
+                let mut any = false;
+                while matches!(self.s.get(self.i), Some(b'0'..=b'9')) {
+                    self.i += 1;
+                    any = true;
+                }
+                if !any {
+                    return Err("digits required after '.'".into());
+                }
+            }
+            if matches!(self.s.get(self.i), Some(b'e' | b'E')) {
+                self.i += 1;
+                if matches!(self.s.get(self.i), Some(b'+' | b'-')) {
+                    self.i += 1;
+                }
+                let mut any = false;
+                while matches!(self.s.get(self.i), Some(b'0'..=b'9')) {
+                    self.i += 1;
+                    any = true;
+                }
+                if !any {
+                    return Err("digits required in exponent".into());
+                }
+            }
+            Ok(())
+        }
+        fn value(&mut self, depth: usize) -> Result<i64, String> {
+            if depth > 2_000 {
+                return Err("nesting too deep for the reference parser".into());
+            }
+            self.ws();
+            match self.s.get(self.i) {
+                Some(b'{') => {
+                    self.i += 1;
+                    let mut n = 1;
+                    self.ws();
+                    if self.lit(b"}") {
+                        return Ok(n);
+                    }
+                    loop {
+                        self.ws();
+                        self.string()?;
+                        self.ws();
+                        if !self.lit(b":") {
+                            return Err(format!("expected ':' at byte {}", self.i));
+                        }
+                        n += self.value(depth + 1)?;
+                        self.ws();
+                        if self.lit(b",") {
+                            continue;
+                        }
+                        if self.lit(b"}") {
+                            return Ok(n);
+                        }
+                        return Err(format!("expected ',' or '}}' at byte {}", self.i));
+                    }
+                }
+                Some(b'[') => {
+                    self.i += 1;
+                    let mut n = 0;
+                    self.ws();
+                    if self.lit(b"]") {
+                        return Ok(n);
+                    }
+                    loop {
+                        n += self.value(depth + 1)?;
+                        self.ws();
+                        if self.lit(b",") {
+                            continue;
+                        }
+                        if self.lit(b"]") {
+                            return Ok(n);
+                        }
+                        return Err(format!("expected ',' or ']' at byte {}", self.i));
+                    }
+                }
+                Some(b'"') => {
+                    self.string()?;
+                    Ok(0)
+                }
+                Some(b't') => {
+                    if self.lit(b"true") {
+                        Ok(0)
+                    } else {
+                        Err(format!("bad literal at byte {}", self.i))
+                    }
+                }
+                Some(b'f') => {
+                    if self.lit(b"false") {
+                        Ok(0)
+                    } else {
+                        Err(format!("bad literal at byte {}", self.i))
+                    }
+                }
+                Some(b'n') => {
+                    if self.lit(b"null") {
+                        Ok(0)
+                    } else {
+                        Err(format!("bad literal at byte {}", self.i))
+                    }
+                }
+                _ => {
+                    self.number()?;
+                    Ok(0)
+                }
+            }
+        }
+    }
+    let mut p = P { s: input, i: 0 };
+    let n = p.value(0)?;
+    p.ws();
+    if p.i == input.len() {
+        Ok(n)
+    } else {
+        Err(format!("trailing input at byte {}", p.i))
+    }
+}
+
+/// Generates one JSON document of roughly `target` bytes: nested
+/// objects/arrays with strings (including escapes), numbers,
+/// booleans and nulls — message-like data in the spirit of the
+/// paper's json benchmark.
+pub fn generate(seed: u64, target: usize) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(target + 256);
+    gen_value(&mut rng, &mut out, target, 0);
+    out
+}
+
+fn gen_string(rng: &mut StdRng, out: &mut Vec<u8>) {
+    out.push(b'"');
+    for _ in 0..rng.random_range(0..14) {
+        match rng.random_range(0..12) {
+            0 => out.extend_from_slice(b"\\\""),
+            1 => out.extend_from_slice(b"\\\\"),
+            2 => out.extend_from_slice(b"\\n"),
+            3 => out.push(b' '),
+            4 => out.push(rng.random_range(b'0'..=b'9')),
+            _ => out.push(rng.random_range(b'a'..=b'z')),
+        }
+    }
+    out.push(b'"');
+}
+
+fn gen_scalar(rng: &mut StdRng, out: &mut Vec<u8>) {
+    match rng.random_range(0..8) {
+        0 => out.extend_from_slice(b"true"),
+        1 => out.extend_from_slice(b"false"),
+        2 => out.extend_from_slice(b"null"),
+        3..=5 => {
+            if rng.random_bool(0.3) {
+                out.push(b'-');
+            }
+            let n: u32 = rng.random_range(0..1_000_000);
+            out.extend_from_slice(n.to_string().as_bytes());
+            if rng.random_bool(0.3) {
+                out.push(b'.');
+                out.extend_from_slice(rng.random_range(1..999u32).to_string().as_bytes());
+            }
+            if rng.random_bool(0.15) {
+                out.push(b'e');
+                out.extend_from_slice(rng.random_range(1..20u32).to_string().as_bytes());
+            }
+        }
+        _ => gen_string(rng, out),
+    }
+}
+
+fn gen_value(rng: &mut StdRng, out: &mut Vec<u8>, budget: usize, depth: usize) {
+    if depth > 24 || out.len() >= budget {
+        gen_scalar(rng, out);
+        return;
+    }
+    match rng.random_range(0..10) {
+        0..=4 => {
+            // object
+            out.push(b'{');
+            let fields = rng.random_range(0..8);
+            for i in 0..fields {
+                if i > 0 {
+                    out.push(b',');
+                }
+                gen_string(rng, out);
+                out.extend_from_slice(b": ");
+                gen_value(rng, out, budget, depth + 1);
+            }
+            out.push(b'}');
+        }
+        5..=6 => {
+            // array
+            out.push(b'[');
+            let elems = rng.random_range(0..8);
+            for i in 0..elems {
+                if i > 0 {
+                    out.extend_from_slice(b", ");
+                }
+                gen_value(rng, out, budget, depth + 1);
+            }
+            out.push(b']');
+        }
+        _ => gen_scalar(rng, out),
+    }
+}
+
+/// The bundled definition for the benchmark harness.
+pub fn def() -> GrammarDef<i64> {
+    GrammarDef { name: "json", lexer, cfe, finish: |v| v, generate, reference }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_objects() {
+        let p = def().flap_parser();
+        assert_eq!(p.parse(b"{}").unwrap(), 1);
+        assert_eq!(p.parse(b"[]").unwrap(), 0);
+        assert_eq!(p.parse(b"null").unwrap(), 0);
+        assert_eq!(p.parse(br#"{"a": {"b": {}}, "c": [{}, {}]}"#).unwrap(), 5);
+        assert_eq!(p.parse(br#"[1, "two", true, {"three": 3}]"#).unwrap(), 1);
+        assert_eq!(p.parse(b"-12.5e3").unwrap(), 0);
+    }
+
+    #[test]
+    fn handles_string_escapes() {
+        let p = def().flap_parser();
+        assert_eq!(p.parse(br#""a\"b\\c\nd""#).unwrap(), 0);
+        assert!(p.parse(br#""unterminated"#).is_err());
+    }
+
+    #[test]
+    fn agrees_with_reference_on_fixtures() {
+        let p = def().flap_parser();
+        for input in [
+            &br#"{"k": [1, 2, {"x": null}], "s": "v"}"#[..],
+            br#"[[[[]]]]"#,
+            br#"{"a":1,"b":2}"#,
+            b"42",
+            b"  true  ",
+            br#"{"esc": "\"\\"}"#,
+        ] {
+            assert_eq!(p.parse(input).ok(), reference(input).ok(), "on {:?}",
+                String::from_utf8_lossy(input));
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        let p = def().flap_parser();
+        for input in [
+            &b"{"[..],
+            b"{,}",
+            b"[1,]",
+            br#"{"a" 1}"#,
+            b"tru",
+            b"01",
+            b"",
+            b"{} {}",
+        ] {
+            assert!(p.parse(input).is_err(), "{:?} should fail", String::from_utf8_lossy(input));
+            assert!(reference(input).is_err(), "{:?} ref should fail", String::from_utf8_lossy(input));
+        }
+    }
+
+    #[test]
+    fn generated_inputs_are_valid_and_agree() {
+        let p = def().flap_parser();
+        for seed in 0..5 {
+            let input = generate(seed, 4096);
+            let expect = reference(&input).expect("generator must produce valid JSON");
+            assert_eq!(p.parse(&input).unwrap(), expect, "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,440 @@
+//! Benchmark (1): Portable Game Notation chess game descriptions,
+//! extracting game results.
+//!
+//! A PGN file is a sequence of games; each game is a sequence of tag
+//! pairs (`[Event "F/S Return Match"]`), then movetext (move numbers,
+//! SAN moves, numeric annotation glyphs), then a result marker.
+//! Comments (`{...}`, `;...`) are skipped by the lexer. Recursive
+//! variations are not supported (as in the paper's simplified
+//! benchmark grammar, which has 13 lexer rules and 38 nonterminals —
+//! small relative to full PGN).
+//!
+//! The reported value is the sum of result codes
+//! (`1-0` → 1, `0-1` → 2, `1/2-1/2` → 3, `*` → 0), from which game
+//! counts and score tallies are recoverable; the workload oracle uses
+//! the same coding.
+
+use flap::{Cfe, Lexer, LexerBuilder, Token};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::GrammarDef;
+
+/// Dense token indices, in lexer declaration order.
+#[derive(Clone, Copy, Debug)]
+pub struct Tokens {
+    /// `[`
+    pub lbracket: Token,
+    /// `]`
+    pub rbracket: Token,
+    /// Tag value string.
+    pub string: Token,
+    /// Result `1-0`.
+    pub res_white: Token,
+    /// Result `0-1`.
+    pub res_black: Token,
+    /// Result `1/2-1/2`.
+    pub res_draw: Token,
+    /// Result `*` (unfinished).
+    pub res_star: Token,
+    /// Move number `12.` / `12...`.
+    pub movenum: Token,
+    /// Numeric annotation glyph `$12`.
+    pub nag: Token,
+    /// Tag name or SAN move (one token class, distinguished by
+    /// grammar position, as in conventional PGN tooling).
+    pub word: Token,
+}
+
+/// The stable token handles for this grammar.
+pub fn tokens() -> Tokens {
+    let t = Token::from_index;
+    Tokens {
+        lbracket: t(0),
+        rbracket: t(1),
+        string: t(2),
+        res_white: t(3),
+        res_black: t(4),
+        res_draw: t(5),
+        res_star: t(6),
+        movenum: t(7),
+        nag: t(8),
+        word: t(9),
+    }
+}
+
+/// The PGN lexer: 10 tokens plus merged whitespace/comment skips.
+pub fn lexer() -> Lexer {
+    let mut b = LexerBuilder::new();
+    b.token_literal("lbracket", "[").expect("valid");
+    b.token_literal("rbracket", "]").expect("valid");
+    b.token("string", r#""([^"\\]|\\.)*""#).expect("valid pattern");
+    b.token_literal("res_white", "1-0").expect("valid");
+    b.token_literal("res_black", "0-1").expect("valid");
+    b.token_literal("res_draw", "1/2-1/2").expect("valid");
+    b.token_literal("res_star", "*").expect("valid");
+    b.token("movenum", r"[0-9]+\.(\.\.)?").expect("valid pattern");
+    b.token("nag", r"\$[0-9]+").expect("valid pattern");
+    b.token("word", "[a-zA-Z][a-zA-Z0-9+#=:_-]*").expect("valid pattern");
+    b.skip("[ \t\n\r]").expect("valid pattern");
+    b.skip(r"\{[^}]*\}").expect("valid pattern"); // brace comments
+    b.skip(";[^\n]*\n").expect("valid pattern"); // line comments
+    b.build().expect("pgn lexer canonicalizes")
+}
+
+/// The PGN grammar:
+///
+/// ```text
+/// file  ::= μf. game · (ε ∨ f)
+/// game  ::= μg. [ WORD STRING ] g | moves
+/// moves ::= μm. MOVENUM m | WORD m | NAG m | RESULT
+/// ```
+pub fn cfe() -> Cfe<i64> {
+    let t = tokens();
+    let moves = move || {
+        Cfe::fix(move |m| {
+            Cfe::tok_val(t.movenum, 0)
+                .then(m.clone(), |_, r| r)
+                .or(Cfe::tok_val(t.word, 0).then(m.clone(), |_, r| r))
+                .or(Cfe::tok_val(t.nag, 0).then(m, |_, r| r))
+                .or(Cfe::tok_val(t.res_white, 1))
+                .or(Cfe::tok_val(t.res_black, 2))
+                .or(Cfe::tok_val(t.res_draw, 3))
+                .or(Cfe::tok_val(t.res_star, 0))
+        })
+    };
+    let game = move || {
+        Cfe::fix(move |g| {
+            Cfe::tok_val(t.lbracket, 0)
+                .then(Cfe::tok_val(t.word, 0), |_, _| 0)
+                .then(Cfe::tok_val(t.string, 0), |_, _| 0)
+                .then(Cfe::tok_val(t.rbracket, 0), |_, _| 0)
+                .then(g, |_, r| r)
+                .or(moves())
+        })
+    };
+    Cfe::fix(move |file| game().then(Cfe::eps_with(|| 0).or(file), |a, b| a + b))
+}
+
+/// Handwritten oracle: tokenizes and parses PGN independently,
+/// returning the sum of result codes.
+///
+/// # Errors
+///
+/// A message with a byte offset.
+pub fn reference(input: &[u8]) -> Result<i64, String> {
+    let mut i = 0usize;
+    let mut total = 0i64;
+    let mut any_game = false;
+    let is_word_start = |c: u8| c.is_ascii_alphabetic();
+    let is_word = |c: u8| c.is_ascii_alphanumeric() || matches!(c, b'+' | b'#' | b'=' | b':' | b'_' | b'-');
+    'outer: loop {
+        // skip whitespace and comments
+        loop {
+            match input.get(i) {
+                Some(b' ' | b'\t' | b'\n' | b'\r') => i += 1,
+                Some(b'{') => {
+                    while let Some(&c) = input.get(i) {
+                        i += 1;
+                        if c == b'}' {
+                            break;
+                        }
+                    }
+                }
+                Some(b';') => {
+                    while let Some(&c) = input.get(i) {
+                        i += 1;
+                        if c == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        if i >= input.len() {
+            break 'outer;
+        }
+        any_game = true;
+        // one game: tags
+        loop {
+            // skip ws/comments between items
+            while matches!(input.get(i), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                i += 1;
+            }
+            if input.get(i) != Some(&b'[') {
+                break;
+            }
+            i += 1;
+            while matches!(input.get(i), Some(b' ')) {
+                i += 1;
+            }
+            if !input.get(i).copied().is_some_and(is_word_start) {
+                return Err(format!("expected tag name at byte {i}"));
+            }
+            while input.get(i).copied().is_some_and(is_word) {
+                i += 1;
+            }
+            while matches!(input.get(i), Some(b' ')) {
+                i += 1;
+            }
+            if input.get(i) != Some(&b'"') {
+                return Err(format!("expected tag value string at byte {i}"));
+            }
+            i += 1;
+            loop {
+                match input.get(i) {
+                    Some(b'"') => {
+                        i += 1;
+                        break;
+                    }
+                    Some(b'\\') => i += 2,
+                    Some(_) => i += 1,
+                    None => return Err("unterminated tag string".into()),
+                }
+            }
+            while matches!(input.get(i), Some(b' ')) {
+                i += 1;
+            }
+            if input.get(i) != Some(&b']') {
+                return Err(format!("expected ']' at byte {i}"));
+            }
+            i += 1;
+        }
+        // movetext until a result
+        loop {
+            match input.get(i) {
+                Some(b' ' | b'\t' | b'\n' | b'\r') => i += 1,
+                Some(b'{') => {
+                    while let Some(&c) = input.get(i) {
+                        i += 1;
+                        if c == b'}' {
+                            break;
+                        }
+                    }
+                }
+                Some(b';') => {
+                    while let Some(&c) = input.get(i) {
+                        i += 1;
+                        if c == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                Some(b'*') => {
+                    i += 1;
+                    total += 0;
+                    break;
+                }
+                Some(b'0') if input[i..].starts_with(b"0-1") => {
+                    i += 3;
+                    total += 2;
+                    break;
+                }
+                Some(b'1') if input[i..].starts_with(b"1/2-1/2") => {
+                    i += 7;
+                    total += 3;
+                    break;
+                }
+                Some(b'1') if input[i..].starts_with(b"1-0") => {
+                    i += 3;
+                    total += 1;
+                    break;
+                }
+                Some(b'0'..=b'9') => {
+                    // move number
+                    while matches!(input.get(i), Some(b'0'..=b'9')) {
+                        i += 1;
+                    }
+                    if input.get(i) != Some(&b'.') {
+                        return Err(format!("expected '.' after move number at byte {i}"));
+                    }
+                    i += 1;
+                    if input[i..].starts_with(b"..") {
+                        i += 2;
+                    }
+                }
+                Some(b'$') => {
+                    i += 1;
+                    if !matches!(input.get(i), Some(b'0'..=b'9')) {
+                        return Err(format!("expected NAG digits at byte {i}"));
+                    }
+                    while matches!(input.get(i), Some(b'0'..=b'9')) {
+                        i += 1;
+                    }
+                }
+                Some(&c) if is_word_start(c) => {
+                    while input.get(i).copied().is_some_and(is_word) {
+                        i += 1;
+                    }
+                }
+                Some(&c) => return Err(format!("unexpected byte {:?} at {}", c as char, i)),
+                None => return Err("input ended before a game result".into()),
+            }
+        }
+    }
+    if any_game {
+        Ok(total)
+    } else {
+        Err("no games in input".into())
+    }
+}
+
+const TAG_NAMES: [&str; 7] = ["Event", "Site", "Date", "Round", "White", "Black", "Result"];
+const PIECES: [&str; 5] = ["N", "B", "R", "Q", "K"];
+
+/// Generates roughly `target` bytes of PGN games with plausible tag
+/// sections and SAN movetext.
+pub fn generate(seed: u64, target: usize) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(target + 512);
+    while out.len() < target {
+        // tags
+        for name in TAG_NAMES.iter().take(rng.random_range(3..=7)) {
+            out.push(b'[');
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(b" \"");
+            for _ in 0..rng.random_range(3..16) {
+                let c = match rng.random_range(0..12) {
+                    0 => b' ',
+                    1 => b'.',
+                    2..=4 => rng.random_range(b'0'..=b'9'),
+                    _ => rng.random_range(b'a'..=b'z'),
+                };
+                out.push(c);
+            }
+            out.extend_from_slice(b"\"]\n");
+        }
+        // movetext
+        let moves = rng.random_range(10..80);
+        for m in 1..=moves {
+            out.extend_from_slice(m.to_string().as_bytes());
+            out.extend_from_slice(b". ");
+            for _ in 0..2 {
+                gen_san(&mut rng, &mut out);
+                out.push(b' ');
+            }
+            if rng.random_bool(0.05) {
+                out.extend_from_slice(b"{a comment} ");
+            }
+            if rng.random_bool(0.04) {
+                out.push(b'$');
+                out.extend_from_slice(rng.random_range(1..20u8).to_string().as_bytes());
+                out.push(b' ');
+            }
+            if m % 8 == 0 {
+                out.push(b'\n');
+            }
+        }
+        out.extend_from_slice(match rng.random_range(0..4) {
+            0 => b"1-0".as_slice(),
+            1 => b"0-1".as_slice(),
+            2 => b"1/2-1/2".as_slice(),
+            _ => b"*".as_slice(),
+        });
+        out.extend_from_slice(b"\n\n");
+    }
+    out
+}
+
+fn gen_san(rng: &mut StdRng, out: &mut Vec<u8>) {
+    match rng.random_range(0..10) {
+        0 => out.extend_from_slice(b"O-O"),
+        1 => out.extend_from_slice(b"O-O-O"),
+        2 | 3 => {
+            // piece move: Nf3, Qxd5+
+            out.extend_from_slice(PIECES[rng.random_range(0..PIECES.len())].as_bytes());
+            if rng.random_bool(0.2) {
+                out.push(b'x');
+            }
+            out.push(rng.random_range(b'a'..=b'h'));
+            out.push(rng.random_range(b'1'..=b'8'));
+            if rng.random_bool(0.1) {
+                out.push(b'+');
+            }
+        }
+        _ => {
+            // pawn move: e4, exd5, e8=Q#
+            out.push(rng.random_range(b'a'..=b'h'));
+            if rng.random_bool(0.15) {
+                out.push(b'x');
+                out.push(rng.random_range(b'a'..=b'h'));
+            }
+            out.push(rng.random_range(b'1'..=b'8'));
+            if rng.random_bool(0.05) {
+                out.extend_from_slice(b"=Q");
+            }
+            if rng.random_bool(0.08) {
+                out.push(if rng.random_bool(0.8) { b'+' } else { b'#' });
+            }
+        }
+    }
+}
+
+/// The bundled definition for the benchmark harness.
+pub fn def() -> GrammarDef<i64> {
+    GrammarDef { name: "pgn", lexer, cfe, finish: |v| v, generate, reference }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_minimal_game() {
+        let p = def().flap_parser();
+        let game = b"[Event \"test\"]\n1. e4 e5 2. Nf3 Nc6 1-0\n";
+        assert_eq!(p.parse(game).unwrap(), 1);
+    }
+
+    #[test]
+    fn sums_result_codes_across_games() {
+        let p = def().flap_parser();
+        let games = b"1. e4 e5 1-0\n\n1. d4 d5 0-1\n\n1. c4 c5 1/2-1/2\n\n1. f4 *\n";
+        assert_eq!(p.parse(games).unwrap(), 1 + 2 + 3);
+    }
+
+    #[test]
+    fn comments_and_nags_are_handled() {
+        let p = def().flap_parser();
+        let game = b"{opening notes} 1. e4 {king pawn} e5 $1 ; best by test\n2. Nf3 1-0\n";
+        assert_eq!(p.parse(game).unwrap(), 1);
+    }
+
+    #[test]
+    fn black_continuation_numbers() {
+        let p = def().flap_parser();
+        assert_eq!(p.parse(b"1. e4 1... e5 2. Nf3 *").unwrap(), 0);
+    }
+
+    #[test]
+    fn agrees_with_reference_on_fixtures() {
+        let p = def().flap_parser();
+        for input in [
+            &b"[Event \"x\"][Site \"y\"]\n1. e4 e5 1-0"[..],
+            b"1. O-O exd5 0-1",
+            b"1. e8=Q+ Kxe8 1/2-1/2",
+        ] {
+            assert_eq!(p.parse(input).ok(), reference(input).ok());
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        let p = def().flap_parser();
+        for input in [&b""[..], b"[Event]", b"1. e4", b"[Event \"x\""] {
+            assert!(p.parse(input).is_err(), "{:?} should fail", String::from_utf8_lossy(input));
+            assert!(reference(input).is_err());
+        }
+    }
+
+    #[test]
+    fn generated_inputs_are_valid_and_agree() {
+        let p = def().flap_parser();
+        for seed in 0..5 {
+            let input = generate(seed, 8192);
+            let expect = reference(&input).expect("generator must produce valid PGN");
+            assert_eq!(p.parse(&input).unwrap(), expect, "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Benchmark (2): Netpbm images (ASCII `P3` portable pixmaps),
+//! parsing and checking semantic properties — pixel count and color
+//! range — as in the paper.
+//!
+//! The reported value is the pixel count `w·h` when the image is
+//! semantically valid (exactly `3·w·h` samples, all within
+//! `0..=maxval`), and `−1` otherwise.
+
+use flap::{Cfe, Lexer, LexerBuilder, Token};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::GrammarDef;
+
+/// The parse-time accumulator for PPM checking: header fields plus a
+/// running sample count and maximum.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PpmAcc {
+    /// The integer value of a single token (leaf use only).
+    pub val: i64,
+    /// Number of samples folded so far.
+    pub count: i64,
+    /// Largest sample seen.
+    pub maxseen: i64,
+    /// Header width.
+    pub w: i64,
+    /// Header height.
+    pub h: i64,
+    /// Header maximum sample value.
+    pub maxval: i64,
+}
+
+/// Dense token indices, in lexer declaration order.
+#[derive(Clone, Copy, Debug)]
+pub struct Tokens {
+    /// The `P3` magic number.
+    pub magic: Token,
+    /// An unsigned decimal integer.
+    pub int: Token,
+}
+
+/// The stable token handles for this grammar.
+pub fn tokens() -> Tokens {
+    Tokens { magic: Token::from_index(0), int: Token::from_index(1) }
+}
+
+/// The PPM lexer: magic, integers, whitespace and `#` comments
+/// (Netpbm allows comments anywhere whitespace may appear).
+pub fn lexer() -> Lexer {
+    let mut b = LexerBuilder::new();
+    b.token_literal("magic", "P3").expect("valid");
+    b.token("int", "[0-9]+").expect("valid pattern");
+    b.skip("[ \t\n\r]").expect("valid pattern");
+    b.skip("#[^\n]*\n").expect("valid pattern");
+    b.build().expect("ppm lexer canonicalizes")
+}
+
+fn int_acc(lx: &[u8]) -> PpmAcc {
+    let v: i64 = std::str::from_utf8(lx).expect("digits").parse().unwrap_or(i64::MAX);
+    PpmAcc { val: v, count: 1, maxseen: v, ..PpmAcc::default() }
+}
+
+/// The PPM grammar:
+/// `P3 · INT(w) · INT(h) · INT(maxval) · (μi. ε ∨ INT·i)`.
+pub fn cfe() -> Cfe<PpmAcc> {
+    let t = tokens();
+    let samples = Cfe::fix(move |i| {
+        Cfe::eps(PpmAcc::default()).or(Cfe::tok_with(t.int, int_acc).then(i, |s, rest| PpmAcc {
+            count: s.count + rest.count,
+            maxseen: s.maxseen.max(rest.maxseen),
+            ..PpmAcc::default()
+        }))
+    });
+    Cfe::tok_val(t.magic, PpmAcc::default())
+        .then(Cfe::tok_with(t.int, int_acc), |_, w| PpmAcc { w: w.val, ..PpmAcc::default() })
+        .then(Cfe::tok_with(t.int, int_acc), |acc, h| PpmAcc { h: h.val, ..acc })
+        .then(Cfe::tok_with(t.int, int_acc), |acc, m| PpmAcc { maxval: m.val, ..acc })
+        .then(samples, |hdr, body| PpmAcc {
+            count: body.count,
+            maxseen: body.maxseen,
+            ..hdr
+        })
+}
+
+/// The semantic check of the paper: sample count and color range.
+pub fn finish(acc: PpmAcc) -> i64 {
+    let valid = acc.w > 0
+        && acc.h > 0
+        && acc.maxval > 0
+        && acc.count == 3 * acc.w * acc.h
+        && acc.maxseen <= acc.maxval;
+    if valid {
+        acc.w * acc.h
+    } else {
+        -1
+    }
+}
+
+/// Handwritten oracle: whitespace/comment-splitting parser with the
+/// same semantic checks.
+///
+/// # Errors
+///
+/// A message on lexical/structural failure (semantic failures return
+/// `Ok(-1)`, matching [`finish`]).
+pub fn reference(input: &[u8]) -> Result<i64, String> {
+    let mut fields: Vec<&[u8]> = Vec::new();
+    let mut i = 0;
+    while i < input.len() {
+        match input[i] {
+            b' ' | b'\t' | b'\n' | b'\r' => i += 1,
+            b'#' => {
+                while i < input.len() && input[i] != b'\n' {
+                    i += 1;
+                }
+                if i >= input.len() {
+                    return Err("unterminated comment".into());
+                }
+            }
+            _ => {
+                let start = i;
+                while i < input.len() && !input[i].is_ascii_whitespace() {
+                    i += 1;
+                }
+                fields.push(&input[start..i]);
+            }
+        }
+    }
+    if fields.first() != Some(&&b"P3"[..]) {
+        return Err("missing P3 magic".into());
+    }
+    let mut nums = Vec::with_capacity(fields.len() - 1);
+    for f in &fields[1..] {
+        if f.is_empty() || !f.iter().all(u8::is_ascii_digit) {
+            return Err(format!("non-numeric field {:?}", String::from_utf8_lossy(f)));
+        }
+        let v: i64 = std::str::from_utf8(f).expect("digits").parse().unwrap_or(i64::MAX);
+        nums.push(v);
+    }
+    if nums.len() < 3 {
+        return Err("truncated header".into());
+    }
+    let (w, h, maxval) = (nums[0], nums[1], nums[2]);
+    let samples = &nums[3..];
+    let valid = w > 0
+        && h > 0
+        && maxval > 0
+        && samples.len() as i64 == 3 * w * h
+        && samples.iter().all(|&s| s <= maxval);
+    Ok(if valid { w * h } else { -1 })
+}
+
+/// Generates one valid P3 image of roughly `target` bytes, with
+/// comments and varied whitespace.
+pub fn generate(seed: u64, target: usize) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // ~4 bytes per sample, 3 samples per pixel
+    let pixels = (target / 12).max(4);
+    let w = (pixels as f64).sqrt() as usize + 1;
+    let h = pixels.div_ceil(w);
+    let maxval = [255i64, 1023, 65535][rng.random_range(0..3)];
+    let mut out = Vec::with_capacity(target + 128);
+    out.extend_from_slice(b"P3\n# generated by flap-grammars\n");
+    out.extend_from_slice(format!("{w} {h}\n{maxval}\n").as_bytes());
+    for p in 0..(w * h) {
+        for _ in 0..3 {
+            out.extend_from_slice(rng.random_range(0..=maxval).to_string().as_bytes());
+            out.push(b' ');
+        }
+        if p % 5 == 4 {
+            out.push(b'\n');
+        }
+    }
+    out.push(b'\n');
+    out
+}
+
+/// The bundled definition for the benchmark harness.
+pub fn def() -> GrammarDef<PpmAcc> {
+    GrammarDef { name: "ppm", lexer, cfe, finish, generate, reference }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(input: &[u8]) -> Result<i64, String> {
+        let p = def().flap_parser();
+        p.parse(input).map(finish).map_err(|e| e.to_string())
+    }
+
+    #[test]
+    fn accepts_a_tiny_valid_image() {
+        let img = b"P3\n2 1 255\n1 2 3 4 5 6\n";
+        assert_eq!(run(img).unwrap(), 2);
+        assert_eq!(reference(img).unwrap(), 2);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let img = b"P3 # magic\n# a comment line\n1 1 10\n5 6 7\n";
+        assert_eq!(run(img).unwrap(), 1);
+    }
+
+    #[test]
+    fn semantic_check_pixel_count() {
+        // one sample short
+        let img = b"P3\n2 1 255\n1 2 3 4 5\n";
+        assert_eq!(run(img).unwrap(), -1);
+        assert_eq!(reference(img).unwrap(), -1);
+    }
+
+    #[test]
+    fn semantic_check_color_range() {
+        let img = b"P3\n1 1 10\n5 6 99\n";
+        assert_eq!(run(img).unwrap(), -1);
+        assert_eq!(reference(img).unwrap(), -1);
+    }
+
+    #[test]
+    fn rejects_lexical_garbage() {
+        for input in [&b""[..], b"P6\n1 1 10\n1 2 3\n", b"P3 1 1 10 1 2 x"] {
+            assert!(run(input).is_err(), "{:?} should fail", String::from_utf8_lossy(input));
+            assert!(reference(input).is_err());
+        }
+    }
+
+    #[test]
+    fn generated_inputs_are_valid_and_agree() {
+        let p = def().flap_parser();
+        for seed in 0..5 {
+            let input = generate(seed, 4096);
+            let expect = reference(&input).expect("generator must produce valid PPM");
+            assert!(expect > 0, "generated images are semantically valid");
+            assert_eq!(finish(p.parse(&input).unwrap()), expect, "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Benchmark (3): s-expressions with alphanumeric atoms, returning
+//! the atom count — the paper's running example (Fig 3).
+
+use flap::{Cfe, Lexer, LexerBuilder, Token};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::GrammarDef;
+
+/// Dense token indices, in lexer declaration order.
+#[derive(Clone, Copy, Debug)]
+pub struct Tokens {
+    /// `[a-z][a-z0-9]*`
+    pub atom: Token,
+    /// `(`
+    pub lpar: Token,
+    /// `)`
+    pub rpar: Token,
+}
+
+/// The stable token handles for this grammar.
+pub fn tokens() -> Tokens {
+    Tokens {
+        atom: Token::from_index(0),
+        lpar: Token::from_index(1),
+        rpar: Token::from_index(2),
+    }
+}
+
+/// The Fig 3b lexer (with alphanumeric atoms, per §6).
+pub fn lexer() -> Lexer {
+    let mut b = LexerBuilder::new();
+    b.token("atom", "[a-z][a-z0-9]*").expect("valid pattern");
+    b.token("lpar", r"\(").expect("valid pattern");
+    b.token("rpar", r"\)").expect("valid pattern");
+    b.skip("[ \n]").expect("valid pattern");
+    b.build().expect("sexp lexer canonicalizes")
+}
+
+/// The Fig 3c grammar, counting atoms:
+/// `μ sexp. (lpar · (μ sexps. ε ∨ sexp·sexps) · rpar) ∨ atom`.
+pub fn cfe() -> Cfe<i64> {
+    let t = tokens();
+    Cfe::fix(move |sexp| {
+        let sexps = Cfe::fix(|sexps| Cfe::eps_with(|| 0).or(sexp.then(sexps, |a, b| a + b)));
+        Cfe::tok_val(t.lpar, 0)
+            .then(sexps, |_, n| n)
+            .then(Cfe::tok_val(t.rpar, 0), |n, _| n)
+            .or(Cfe::tok_val(t.atom, 1))
+    })
+}
+
+/// Handwritten recursive-descent oracle: parses one s-expression and
+/// returns its atom count.
+///
+/// # Errors
+///
+/// A human-readable message with a byte offset.
+pub fn reference(input: &[u8]) -> Result<i64, String> {
+    struct P<'a> {
+        s: &'a [u8],
+        i: usize,
+    }
+    impl P<'_> {
+        fn ws(&mut self) {
+            while let Some(&c) = self.s.get(self.i) {
+                if c == b' ' || c == b'\n' {
+                    self.i += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        fn sexp(&mut self, depth: usize) -> Result<i64, String> {
+            if depth > 10_000 {
+                return Err("nesting too deep for the reference parser".into());
+            }
+            self.ws();
+            match self.s.get(self.i) {
+                Some(b'(') => {
+                    self.i += 1;
+                    let mut n = 0;
+                    loop {
+                        self.ws();
+                        match self.s.get(self.i) {
+                            Some(b')') => {
+                                self.i += 1;
+                                return Ok(n);
+                            }
+                            Some(_) => n += self.sexp(depth + 1)?,
+                            None => return Err(format!("unclosed paren at byte {}", self.i)),
+                        }
+                    }
+                }
+                Some(c) if c.is_ascii_lowercase() => {
+                    self.i += 1;
+                    while matches!(self.s.get(self.i), Some(c) if c.is_ascii_lowercase() || c.is_ascii_digit())
+                    {
+                        self.i += 1;
+                    }
+                    Ok(1)
+                }
+                Some(c) => Err(format!("unexpected byte {:?} at {}", *c as char, self.i)),
+                None => Err("unexpected end of input".into()),
+            }
+        }
+    }
+    let mut p = P { s: input, i: 0 };
+    let n = p.sexp(0)?;
+    p.ws();
+    if p.i == input.len() {
+        Ok(n)
+    } else {
+        Err(format!("trailing input at byte {}", p.i))
+    }
+}
+
+/// Generates one s-expression of roughly `target` bytes: random
+/// trees with random alphanumeric atoms and whitespace.
+pub fn generate(seed: u64, target: usize) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(target + 64);
+    out.push(b'(');
+    let mut depth = 1usize;
+    while out.len() < target || depth > 0 {
+        if out.len() >= target {
+            // wind down: close everything
+            out.push(b')');
+            depth -= 1;
+            continue;
+        }
+        match rng.random_range(0..10) {
+            0 | 1 if depth < 40 => {
+                out.push(b'(');
+                depth += 1;
+            }
+            2 if depth > 1 => {
+                out.push(b')');
+                depth -= 1;
+                out.push(b' ');
+            }
+            _ => {
+                let len = rng.random_range(1..10);
+                out.push(rng.random_range(b'a'..=b'z'));
+                for _ in 1..len {
+                    let c = if rng.random_bool(0.2) {
+                        rng.random_range(b'0'..=b'9')
+                    } else {
+                        rng.random_range(b'a'..=b'z')
+                    };
+                    out.push(c);
+                }
+                out.push(if rng.random_bool(0.1) { b'\n' } else { b' ' });
+            }
+        }
+    }
+    out
+}
+
+/// The bundled definition for the benchmark harness.
+pub fn def() -> GrammarDef<i64> {
+    GrammarDef { name: "sexp", lexer, cfe, finish: |v| v, generate, reference }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flap_agrees_with_reference_on_fixtures() {
+        let p = def().flap_parser();
+        for input in [
+            &b"a"[..],
+            b"()",
+            b"(a b c)",
+            b"(a (b2 (c d4)) e)",
+            b"( x9 )",
+            b"(lambda (x) (add x one))",
+        ] {
+            assert_eq!(
+                p.parse(input).ok(),
+                reference(input).ok(),
+                "mismatch on {:?}",
+                String::from_utf8_lossy(input)
+            );
+        }
+    }
+
+    #[test]
+    fn generated_inputs_are_valid_and_agree() {
+        let p = def().flap_parser();
+        for seed in 0..5 {
+            let input = generate(seed, 4096);
+            let expect = reference(&input).expect("generator must produce valid sexps");
+            assert_eq!(p.parse(&input).unwrap(), expect, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn rejects_what_reference_rejects() {
+        let p = def().flap_parser();
+        for input in [&b"(a"[..], b")", b"", b"a b", b"(a))"] {
+            assert!(p.parse(input).is_err());
+            assert!(reference(input).is_err());
+        }
+    }
+}

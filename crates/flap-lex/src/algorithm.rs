@@ -1,0 +1,181 @@
+//! The reference lexing algorithm of Fig 7, executed directly with
+//! regex derivatives.
+//!
+//! This is the specification implementation: longest match, one
+//! derivative step per input byte, no precomputation. The production
+//! path is [`CompiledLexer`](crate::CompiledLexer), which runs the
+//! same algorithm over a precomputed DFA; differential tests pin the
+//! two together.
+
+use std::fmt;
+
+use flap_regex::RegexArena;
+
+use crate::spec::{LexAction, Lexer};
+use crate::token::Token;
+
+/// A token occurrence: which token matched and the half-open byte
+/// span `[start, end)` of its lexeme.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Lexeme {
+    /// The matched token.
+    pub token: Token,
+    /// Start byte offset (inclusive).
+    pub start: usize,
+    /// End byte offset (exclusive).
+    pub end: usize,
+}
+
+impl Lexeme {
+    /// The lexeme's bytes within `input`.
+    pub fn bytes<'a>(&self, input: &'a [u8]) -> &'a [u8] {
+        &input[self.start..self.end]
+    }
+}
+
+/// Lexing failure: no rule matches at `pos`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LexError {
+    /// Byte offset at which no rule matched a non-empty prefix.
+    pub pos: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lexing failed at byte {}", self.pos)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Runs the Fig 7 algorithm over the whole input, returning the token
+/// sequence (skips discarded).
+///
+/// Longest-match semantics: each lexeme corresponds to the rule
+/// matching the longest possible prefix of the remaining input; rule
+/// disjointness (canonicalization) makes the matching rule unique.
+///
+/// # Errors
+///
+/// Returns [`LexError`] at the first position where no rule matches a
+/// non-empty prefix.
+pub fn lex_reference(lexer: &mut Lexer, input: &[u8]) -> Result<Vec<Lexeme>, LexError> {
+    let rules: Vec<(flap_regex::RegexId, LexAction)> =
+        lexer.rules().iter().map(|r| (r.regex, r.action)).collect();
+    let ar = lexer.arena_mut();
+    let mut out = Vec::new();
+    let mut pos = 0;
+    while pos < input.len() {
+        // One call to `L` from Fig 7: scan a single token starting at
+        // `pos`, tracking the best (longest) match seen so far.
+        let mut live = rules.clone();
+        let mut best: Option<(LexAction, usize)> = None; // (k, rs)
+        let mut i = pos;
+        while i < input.len() && !live.is_empty() {
+            let c = input[i];
+            // L'_c = { ∂_c(r) ⇒ k | r ⇒ k ∈ L' ∧ ∂_c(r) ≠ ⊥ }
+            live = live
+                .iter()
+                .filter_map(|&(r, k)| {
+                    let d = ar.deriv(r, c);
+                    (d != RegexArena::EMPTY).then_some((d, k))
+                })
+                .collect();
+            i += 1;
+            // K = { k | r ⇒ k ∈ L'_c ∧ ν(r) } — unique by disjointness.
+            let mut nullable = live.iter().filter(|&&(r, _)| ar.nullable(r));
+            if let Some(&(_, k)) = nullable.next() {
+                debug_assert!(nullable.next().is_none(), "canonical rules must be disjoint");
+                best = Some((k, i));
+            }
+        }
+        // M: act on the best match.
+        match best {
+            None => return Err(LexError { pos }),
+            Some((LexAction::Skip, end)) => pos = end,
+            Some((LexAction::Return(t), end)) => {
+                out.push(Lexeme { token: t, start: pos, end });
+                pos = end;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::LexerBuilder;
+
+    fn sexp_lexer() -> (Lexer, [Token; 3]) {
+        let mut b = LexerBuilder::new();
+        let atom = b.token("atom", "[a-z]+").unwrap();
+        b.skip("[ \n]").unwrap();
+        let lpar = b.token("lpar", r"\(").unwrap();
+        let rpar = b.token("rpar", r"\)").unwrap();
+        (b.build().unwrap(), [atom, lpar, rpar])
+    }
+
+    #[test]
+    fn lexes_sexp_example() {
+        let (mut lx, [atom, lpar, rpar]) = sexp_lexer();
+        let input = b"(foo (bar baz))";
+        let toks = lex_reference(&mut lx, input).unwrap();
+        let kinds: Vec<Token> = toks.iter().map(|l| l.token).collect();
+        assert_eq!(kinds, vec![lpar, atom, lpar, atom, atom, rpar, rpar]);
+        assert_eq!(toks[1].bytes(input), b"foo");
+        assert_eq!(toks[3].bytes(input), b"bar");
+    }
+
+    #[test]
+    fn longest_match_wins() {
+        let mut b = LexerBuilder::new();
+        let eq = b.token("eq", "=").unwrap();
+        let eqeq = b.token("eqeq", "==").unwrap();
+        let mut lx = b.build().unwrap();
+        let toks = lex_reference(&mut lx, b"===").unwrap();
+        assert_eq!(toks.iter().map(|l| l.token).collect::<Vec<_>>(), vec![eqeq, eq]);
+    }
+
+    #[test]
+    fn skip_only_input_yields_no_tokens() {
+        let (mut lx, _) = sexp_lexer();
+        assert_eq!(lex_reference(&mut lx, b"  \n \n").unwrap(), vec![]);
+        assert_eq!(lex_reference(&mut lx, b"").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn reports_error_position() {
+        let (mut lx, _) = sexp_lexer();
+        let err = lex_reference(&mut lx, b"ab !").unwrap_err();
+        assert_eq!(err.pos, 3);
+        assert!(err.to_string().contains("byte 3"));
+    }
+
+    #[test]
+    fn backtracks_to_last_accepting_prefix() {
+        // "1.5" then "." with rules int=[0-9]+, float=[0-9]+\.[0-9]+, dot=\.
+        let mut b = LexerBuilder::new();
+        let float = b.token("float", r"[0-9]+\.[0-9]+").unwrap();
+        let int = b.token("int", "[0-9]+").unwrap();
+        let dot = b.token("dot", r"\.").unwrap();
+        let mut lx = b.build().unwrap();
+        // "12." : scanner tries float, fails after the dot, must fall
+        // back to int and re-lex the dot.
+        let toks = lex_reference(&mut lx, b"12.").unwrap();
+        assert_eq!(toks.iter().map(|l| l.token).collect::<Vec<_>>(), vec![int, dot]);
+        let toks2 = lex_reference(&mut lx, b"12.5").unwrap();
+        assert_eq!(toks2.iter().map(|l| l.token).collect::<Vec<_>>(), vec![float]);
+    }
+
+    #[test]
+    fn keyword_priority_in_lexing() {
+        let mut b = LexerBuilder::new();
+        let kw = b.token("if", "if").unwrap();
+        let ident = b.token("ident", "[a-z]+").unwrap();
+        b.skip(" ").unwrap();
+        let mut lx = b.build().unwrap();
+        let toks = lex_reference(&mut lx, b"if iffy fi").unwrap();
+        assert_eq!(toks.iter().map(|l| l.token).collect::<Vec<_>>(), vec![kw, ident, ident]);
+    }
+}

@@ -1,0 +1,49 @@
+//! Derivative-based lexing — the token side of the flap reproduction.
+//!
+//! A flap lexer (Fig 3a/3b of the paper) maps regexes to actions:
+//! `r ⇒ Return t` produces token `t`, `r ⇒ Skip` discards the match
+//! (whitespace, comments). This crate provides:
+//!
+//! * [`Token`] / [`TokenSet`] — terminal symbols and the sets used by
+//!   the `flap-cfe` type system;
+//! * [`LexerBuilder`] / [`Lexer`] — specification and the §4
+//!   canonicalization (left- and right-disjoint rules via regex
+//!   intersection and complement);
+//! * [`lex_reference`] — the Fig 7 lexing algorithm run directly with
+//!   derivatives (the executable specification);
+//! * [`CompiledLexer`] — the same algorithm with a precomputed DFA,
+//!   used both standalone and as the token producer for the unfused
+//!   baselines of §6.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use flap_lex::{CompiledLexer, LexerBuilder};
+//!
+//! let mut b = LexerBuilder::new();
+//! let atom = b.token("atom", "[a-z]+")?;
+//! b.skip("[ \n]")?;
+//! b.token("lpar", r"\(")?;
+//! b.token("rpar", r"\)")?;
+//! let mut lexer = b.build()?;
+//!
+//! let clex = CompiledLexer::build(&mut lexer);
+//! let input = b"(hello world)";
+//! let toks = clex.tokenize(input)?;
+//! assert_eq!(toks.len(), 4);
+//! assert_eq!(toks[1].token, atom);
+//! assert_eq!(toks[1].bytes(input), b"hello");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod algorithm;
+mod compiled;
+mod spec;
+mod token;
+
+pub use algorithm::{lex_reference, LexError, Lexeme};
+pub use compiled::{CompiledLexer, Lexemes};
+pub use spec::{LexAction, LexBuildError, Lexer, LexerBuilder, Rule};
+pub use token::{Token, TokenSet};

@@ -1,0 +1,218 @@
+//! Tokens and token sets.
+//!
+//! A [`Token`] is an opaque identifier allocated by a
+//! [`LexerBuilder`](crate::LexerBuilder); the same identifiers are the
+//! terminals `t` of the context-free expressions in `flap-cfe`.
+//! [`TokenSet`]s are the `First`/`FLast` sets of the type system of
+//! Krishnaswami & Yallop (Fig 2 of the flap paper).
+
+use std::fmt;
+
+/// An interned token (terminal symbol).
+///
+/// Tokens are allocated densely from 0 by the lexer builder, so they
+/// index directly into per-token tables. At most
+/// [`TokenSet::CAPACITY`] tokens may be allocated per lexer.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Token(pub(crate) u32);
+
+impl Token {
+    /// The dense index of this token.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a token from a dense index.
+    ///
+    /// Intended for tables and serialization; creating a token that
+    /// was never allocated by the corresponding lexer builder yields a
+    /// value that no lexeme will ever carry.
+    pub fn from_index(i: usize) -> Token {
+        Token(u32::try_from(i).expect("token index overflow"))
+    }
+}
+
+impl fmt::Debug for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A set of [`Token`]s, stored as a fixed 256-bit bitmap.
+///
+/// # Examples
+///
+/// ```
+/// use flap_lex::{Token, TokenSet};
+///
+/// let a = Token::from_index(1);
+/// let b = Token::from_index(3);
+/// let mut s = TokenSet::new();
+/// s.insert(a);
+/// assert!(s.contains(a) && !s.contains(b));
+/// assert_eq!(s.len(), 1);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TokenSet {
+    words: [u64; 4],
+}
+
+impl TokenSet {
+    /// Maximum number of distinct tokens representable.
+    pub const CAPACITY: usize = 256;
+
+    /// The empty set.
+    pub const EMPTY: TokenSet = TokenSet { words: [0; 4] };
+
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::EMPTY
+    }
+
+    /// Creates a singleton set.
+    pub fn single(t: Token) -> Self {
+        let mut s = Self::EMPTY;
+        s.insert(t);
+        s
+    }
+
+    /// Adds a token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the token index exceeds [`TokenSet::CAPACITY`].
+    pub fn insert(&mut self, t: Token) {
+        let i = t.index();
+        assert!(i < Self::CAPACITY, "token index {i} exceeds TokenSet capacity");
+        self.words[i >> 6] |= 1u64 << (i & 63);
+    }
+
+    /// Tests membership.
+    pub fn contains(&self, t: Token) -> bool {
+        let i = t.index();
+        i < Self::CAPACITY && self.words[i >> 6] & (1u64 << (i & 63)) != 0
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Tests emptiness.
+    pub fn is_empty(&self) -> bool {
+        self.words == [0; 4]
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &TokenSet) -> TokenSet {
+        let mut w = self.words;
+        for i in 0..4 {
+            w[i] |= other.words[i];
+        }
+        TokenSet { words: w }
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &TokenSet) -> TokenSet {
+        let mut w = self.words;
+        for i in 0..4 {
+            w[i] &= other.words[i];
+        }
+        TokenSet { words: w }
+    }
+
+    /// Tests disjointness.
+    pub fn is_disjoint(&self, other: &TokenSet) -> bool {
+        self.intersect(other).is_empty()
+    }
+
+    /// Tests `self ⊆ other`.
+    pub fn is_subset(&self, other: &TokenSet) -> bool {
+        self.union(other) == *other
+    }
+
+    /// Iterates over members in increasing index order.
+    pub fn iter(&self) -> impl Iterator<Item = Token> + '_ {
+        (0..Self::CAPACITY)
+            .filter(move |&i| self.words[i >> 6] & (1u64 << (i & 63)) != 0)
+            .map(Token::from_index)
+    }
+}
+
+impl FromIterator<Token> for TokenSet {
+    fn from_iter<I: IntoIterator<Item = Token>>(iter: I) -> Self {
+        let mut s = Self::EMPTY;
+        for t in iter {
+            s.insert(t);
+        }
+        s
+    }
+}
+
+impl fmt::Debug for TokenSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, t) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{:?}", t)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: usize) -> Token {
+        Token::from_index(i)
+    }
+
+    #[test]
+    fn insert_contains_len() {
+        let mut s = TokenSet::new();
+        assert!(s.is_empty());
+        s.insert(t(0));
+        s.insert(t(63));
+        s.insert(t(64));
+        s.insert(t(255));
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(t(64)));
+        assert!(!s.contains(t(65)));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn capacity_overflow_panics() {
+        let mut s = TokenSet::new();
+        s.insert(t(256));
+    }
+
+    #[test]
+    fn algebra() {
+        let a: TokenSet = [t(1), t(2), t(3)].into_iter().collect();
+        let b: TokenSet = [t(3), t(4)].into_iter().collect();
+        assert_eq!(a.union(&b).len(), 4);
+        assert_eq!(a.intersect(&b).len(), 1);
+        assert!(!a.is_disjoint(&b));
+        assert!(a.is_disjoint(&TokenSet::single(t(9))));
+        assert!(a.intersect(&b).is_subset(&a));
+        assert!(!a.is_subset(&b));
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let s: TokenSet = [t(200), t(5), t(64)].into_iter().collect();
+        let v: Vec<usize> = s.iter().map(|x| x.index()).collect();
+        assert_eq!(v, vec![5, 64, 200]);
+    }
+
+    #[test]
+    fn debug_formats() {
+        let s: TokenSet = [t(1), t(7)].into_iter().collect();
+        assert_eq!(format!("{:?}", s), "{t1,t7}");
+        assert_eq!(format!("{:?}", t(7)), "t7");
+    }
+}

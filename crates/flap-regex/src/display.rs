@@ -1,0 +1,149 @@
+//! Pretty-printing of interned regexes, used in diagnostics, grammar
+//! dumps and the generated-code comments of `flap-staged`.
+
+use std::fmt;
+
+use crate::arena::{Node, RegexArena, RegexId};
+
+/// Precedence levels for printing without redundant parentheses.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Prec {
+    Alt,
+    And,
+    Seq,
+    Post,
+}
+
+/// A displayable view of an interned regex; created by
+/// [`RegexArena::display`].
+pub struct DisplayRegex<'a> {
+    arena: &'a RegexArena,
+    id: RegexId,
+}
+
+impl RegexArena {
+    /// Returns a value that renders `id` in (approximately) the
+    /// concrete syntax accepted by [`RegexArena::parse`], with `&` and
+    /// `!` for the boolean operators.
+    ///
+    /// ```
+    /// use flap_regex::RegexArena;
+    ///
+    /// let mut ar = RegexArena::new();
+    /// let r = ar.parse("[a-z]+(x|y)?").unwrap();
+    /// assert_eq!(ar.display(r).to_string(), "[a-z][a-z]*(ε|[xy])");
+    /// ```
+    pub fn display(&self, id: RegexId) -> DisplayRegex<'_> {
+        DisplayRegex { arena: self, id }
+    }
+}
+
+impl fmt::Display for DisplayRegex<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write(f, self.arena, self.id, Prec::Alt)
+    }
+}
+
+impl fmt::Debug for DisplayRegex<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+fn write(f: &mut fmt::Formatter<'_>, ar: &RegexArena, id: RegexId, ctx: Prec) -> fmt::Result {
+    let node = ar.node(id);
+    let prec = match node {
+        Node::Alt(_) => Prec::Alt,
+        Node::And(_) => Prec::And,
+        Node::Seq(..) => Prec::Seq,
+        _ => Prec::Post,
+    };
+    let parens = prec < ctx;
+    if parens {
+        write!(f, "(")?;
+    }
+    match node {
+        Node::Empty => write!(f, "⊥")?,
+        Node::Eps => write!(f, "ε")?,
+        Node::Class(s) => write!(f, "{}", s)?,
+        Node::Seq(a, b) => {
+            write(f, ar, *a, Prec::Post)?;
+            write(f, ar, *b, Prec::Seq)?;
+        }
+        Node::Alt(xs) => {
+            for (i, x) in xs.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "|")?;
+                }
+                write(f, ar, *x, Prec::And)?;
+            }
+        }
+        Node::And(xs) => {
+            for (i, x) in xs.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "&")?;
+                }
+                write(f, ar, *x, Prec::Seq)?;
+            }
+        }
+        Node::Not(a) => {
+            write!(f, "!")?;
+            write(f, ar, *a, Prec::Post)?;
+        }
+        Node::Star(a) => {
+            write(f, ar, *a, Prec::Post)?;
+            write!(f, "*")?;
+        }
+    }
+    if parens {
+        write!(f, ")")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::byteset::ByteSet;
+
+    #[test]
+    fn renders_single_class_nicely() {
+        let mut ar = RegexArena::new();
+        let r = ar.class(ByteSet::range(b'a', b'z'));
+        assert_eq!(ar.display(r).to_string(), "[a-z]");
+    }
+
+    #[test]
+    fn renders_alt_without_extra_parens() {
+        let mut ar = RegexArena::new();
+        let ab = ar.literal(b"ab");
+        let cd = ar.literal(b"cd");
+        let r = ar.alt(ab, cd);
+        let s = ar.display(r).to_string();
+        // canonical ordering may flip the operands
+        assert!(s == "[a][b]|[c][d]" || s == "[c][d]|[a][b]", "got {s}");
+    }
+
+    #[test]
+    fn renders_nested_with_parens() {
+        let mut ar = RegexArena::new();
+        let a = ar.byte(b'a');
+        let b = ar.byte(b'b');
+        let ab = ar.alt(a, b); // merged into one class
+        let r = ar.star(ab);
+        assert_eq!(ar.display(r).to_string(), "[ab]*");
+        let x = ar.byte(b'x');
+        let xa = ar.seq(x, ab);
+        let sxa = ar.star(xa);
+        assert_eq!(ar.display(sxa).to_string(), "([x][ab])*");
+    }
+
+    #[test]
+    fn renders_constants_and_not() {
+        let mut ar = RegexArena::new();
+        assert_eq!(ar.display(RegexArena::EMPTY).to_string(), "⊥");
+        assert_eq!(ar.display(RegexArena::EPS).to_string(), "ε");
+        let top = ar.top();
+        assert_eq!(ar.display(top).to_string(), "!⊥");
+    }
+}

@@ -1,0 +1,329 @@
+//! A small concrete syntax for regexes, for convenience in examples,
+//! tests and lexer definitions.
+//!
+//! Supported syntax (byte-oriented):
+//!
+//! ```text
+//! alternation   r|s
+//! concatenation rs
+//! repetition    r*   r+   r?
+//! grouping      (r)
+//! any byte      .
+//! classes       [abc]  [a-z0-9]  [^a-z]
+//! escapes       \n \t \r \0 \\ \| \* \+ \? \( \) \[ \] \. \- \^ \xNN
+//! ```
+//!
+//! Intersection and complement have no concrete syntax; build them
+//! with [`RegexArena::and`] / [`RegexArena::not`].
+
+use std::fmt;
+
+use crate::arena::{RegexArena, RegexId};
+use crate::byteset::ByteSet;
+
+/// Error produced when parsing a regex from its string syntax.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegexParseError {
+    /// Byte offset of the error in the pattern.
+    pub pos: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for RegexParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex syntax error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for RegexParseError {}
+
+struct Parser<'a, 'ar> {
+    input: &'a [u8],
+    pos: usize,
+    ar: &'ar mut RegexArena,
+}
+
+impl RegexArena {
+    /// Parses `pattern` in the concrete syntax described in
+    /// [`crate::parse`] and interns the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegexParseError`] on malformed patterns (unbalanced
+    /// parentheses, bad escapes, empty groups where an operand is
+    /// required, inverted ranges, …).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use flap_regex::RegexArena;
+    ///
+    /// let mut ar = RegexArena::new();
+    /// let r = ar.parse(r"[a-z_][a-z0-9_]*").unwrap();
+    /// assert!(ar.matches(r, b"snake_case9"));
+    /// assert!(!ar.matches(r, b"9starts_with_digit"));
+    /// ```
+    pub fn parse(&mut self, pattern: &str) -> Result<RegexId, RegexParseError> {
+        let mut p = Parser { input: pattern.as_bytes(), pos: 0, ar: self };
+        let r = p.alternation()?;
+        if p.pos != p.input.len() {
+            return Err(p.err("unexpected trailing input"));
+        }
+        Ok(r)
+    }
+}
+
+impl<'a, 'ar> Parser<'a, 'ar> {
+    fn err(&self, msg: &str) -> RegexParseError {
+        RegexParseError { pos: self.pos, msg: msg.to_string() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn alternation(&mut self) -> Result<RegexId, RegexParseError> {
+        let mut parts = vec![self.concatenation()?];
+        while self.peek() == Some(b'|') {
+            self.bump();
+            parts.push(self.concatenation()?);
+        }
+        Ok(self.ar.alt_all(&parts))
+    }
+
+    fn concatenation(&mut self) -> Result<RegexId, RegexParseError> {
+        let mut acc = RegexArena::EPS;
+        while let Some(b) = self.peek() {
+            if b == b'|' || b == b')' {
+                break;
+            }
+            let r = self.repetition()?;
+            acc = self.ar.seq(acc, r);
+        }
+        Ok(acc)
+    }
+
+    fn repetition(&mut self) -> Result<RegexId, RegexParseError> {
+        let mut r = self.atom()?;
+        while let Some(b) = self.peek() {
+            match b {
+                b'*' => {
+                    self.bump();
+                    r = self.ar.star(r);
+                }
+                b'+' => {
+                    self.bump();
+                    r = self.ar.plus(r);
+                }
+                b'?' => {
+                    self.bump();
+                    r = self.ar.opt(r);
+                }
+                _ => break,
+            }
+        }
+        Ok(r)
+    }
+
+    fn atom(&mut self) -> Result<RegexId, RegexParseError> {
+        match self.peek() {
+            None => Err(self.err("expected an atom, found end of pattern")),
+            Some(b'(') => {
+                self.bump();
+                let r = self.alternation()?;
+                if self.bump() != Some(b')') {
+                    return Err(self.err("unbalanced parenthesis"));
+                }
+                Ok(r)
+            }
+            Some(b'[') => {
+                self.bump();
+                let set = self.char_class()?;
+                Ok(self.ar.class(set))
+            }
+            Some(b'.') => {
+                self.bump();
+                Ok(self.ar.class(ByteSet::ALL))
+            }
+            Some(b'*') | Some(b'+') | Some(b'?') => {
+                Err(self.err("repetition operator with no operand"))
+            }
+            Some(b']') => Err(self.err("unmatched ']'")),
+            Some(b'\\') => {
+                self.bump();
+                let b = self.escape()?;
+                Ok(self.ar.byte(b))
+            }
+            Some(b) => {
+                self.bump();
+                Ok(self.ar.byte(b))
+            }
+        }
+    }
+
+    fn char_class(&mut self) -> Result<ByteSet, RegexParseError> {
+        let negated = if self.peek() == Some(b'^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut set = ByteSet::EMPTY;
+        let mut first = true;
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated character class")),
+                Some(b']') if !first => {
+                    self.bump();
+                    break;
+                }
+                _ => {}
+            }
+            first = false;
+            let lo = self.class_byte()?;
+            if self.peek() == Some(b'-') && self.input.get(self.pos + 1) != Some(&b']') {
+                self.bump(); // '-'
+                let hi = self.class_byte()?;
+                if lo > hi {
+                    return Err(self.err("inverted range in character class"));
+                }
+                set = set.union(&ByteSet::range(lo, hi));
+            } else {
+                set.insert(lo);
+            }
+        }
+        Ok(if negated { set.complement() } else { set })
+    }
+
+    fn class_byte(&mut self) -> Result<u8, RegexParseError> {
+        match self.bump() {
+            None => Err(self.err("unterminated character class")),
+            Some(b'\\') => self.escape(),
+            Some(b) => Ok(b),
+        }
+    }
+
+    fn escape(&mut self) -> Result<u8, RegexParseError> {
+        match self.bump() {
+            None => Err(self.err("dangling escape")),
+            Some(b'n') => Ok(b'\n'),
+            Some(b't') => Ok(b'\t'),
+            Some(b'r') => Ok(b'\r'),
+            Some(b'0') => Ok(0),
+            Some(b'x') => {
+                let hi = self.hex_digit()?;
+                let lo = self.hex_digit()?;
+                Ok(hi * 16 + lo)
+            }
+            // Escaping any punctuation yields that byte literally
+            // (the usual lexer-generator convention).
+            Some(b) if b.is_ascii_punctuation() || b == b' ' => Ok(b),
+            Some(other) => Err(RegexParseError {
+                pos: self.pos - 1,
+                msg: format!("unknown escape '\\{}'", other as char),
+            }),
+        }
+    }
+
+    fn hex_digit(&mut self) -> Result<u8, RegexParseError> {
+        match self.bump() {
+            Some(b @ b'0'..=b'9') => Ok(b - b'0'),
+            Some(b @ b'a'..=b'f') => Ok(b - b'a' + 10),
+            Some(b @ b'A'..=b'F') => Ok(b - b'A' + 10),
+            _ => Err(self.err("expected a hex digit")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn accepts(pattern: &str, yes: &[&[u8]], no: &[&[u8]]) {
+        let mut ar = RegexArena::new();
+        let r = ar.parse(pattern).unwrap_or_else(|e| panic!("{pattern}: {e}"));
+        for w in yes {
+            assert!(ar.matches(r, w), "{pattern} should match {:?}", w);
+        }
+        for w in no {
+            assert!(!ar.matches(r, w), "{pattern} should not match {:?}", w);
+        }
+    }
+
+    #[test]
+    fn literals_and_concat() {
+        accepts("abc", &[b"abc"], &[b"ab", b"abcd", b""]);
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        accepts("ab|cd", &[b"ab", b"cd"], &[b"abcd", b"a"]);
+        accepts("a(b|c)d", &[b"abd", b"acd"], &[b"ad", b"abcd"]);
+    }
+
+    #[test]
+    fn repetitions() {
+        accepts("a*", &[b"", b"a", b"aaaa"], &[b"b"]);
+        accepts("a+", &[b"a", b"aa"], &[b""]);
+        accepts("a?b", &[b"b", b"ab"], &[b"aab"]);
+        accepts("(ab)+", &[b"ab", b"abab"], &[b"", b"aba"]);
+    }
+
+    #[test]
+    fn classes_ranges_negation() {
+        accepts("[a-z]+", &[b"hello"], &[b"Hello", b""]);
+        accepts("[abc]", &[b"a", b"b", b"c"], &[b"d"]);
+        accepts("[^a-z]", &[b"A", b"0", b" "], &[b"m", b""]);
+        accepts("[a-z0-9_]*", &[b"", b"x9_"], &[b"X"]);
+        accepts("[]a]", &[b"]", b"a"], &[b"b"]); // ']' first is literal
+        accepts("[a-]", &[b"a", b"-"], &[b"b"]); // trailing '-' is literal
+    }
+
+    #[test]
+    fn dot_and_escapes() {
+        accepts(".", &[b"x", b"\n"], &[b"", b"xy"]);
+        accepts(r"\n", &[b"\n"], &[b"n"]);
+        accepts(r"\\", &[b"\\"], &[b"\\\\"]);
+        accepts(r"\x41", &[b"A"], &[b"B"]);
+        accepts(r"\(\)", &[b"()"], &[b""]);
+        accepts(r"a\.b", &[b"a.b"], &[b"axb"]);
+    }
+
+    #[test]
+    fn csv_style_quoted_field() {
+        // "..." with "" as the escaped quote — needs multi-byte
+        // lookahead in token terms but is a plain regex here.
+        accepts(
+            "\"([^\"]|\"\")*\"",
+            &[b"\"\"", b"\"abc\"", b"\"a\"\"b\"", b"\"\"\"\""],
+            &[b"\"", b"\"a", b"abc"],
+        );
+    }
+
+    #[test]
+    fn empty_alternative_is_epsilon() {
+        accepts("a|", &[b"a", b""], &[b"b"]);
+        accepts("(|x)y", &[b"y", b"xy"], &[b"x"]);
+    }
+
+    #[test]
+    fn errors() {
+        let mut ar = RegexArena::new();
+        assert!(ar.parse("(ab").is_err());
+        assert!(ar.parse("ab)").is_err());
+        assert!(ar.parse("[ab").is_err());
+        assert!(ar.parse("*a").is_err());
+        assert!(ar.parse(r"\q").is_err());
+        assert!(ar.parse(r"\x4").is_err());
+        assert!(ar.parse("[z-a]").is_err());
+        let e = ar.parse("(ab").unwrap_err();
+        assert!(e.to_string().contains("syntax error"));
+    }
+}

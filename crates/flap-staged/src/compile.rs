@@ -1,0 +1,248 @@
+//! Staged compilation of fused grammars — the algorithm of Fig 10.
+//!
+//! The staged parsing algorithm turns the unstaged fused parser
+//! (Fig 9) into a parser *generator*: everything that depends only on
+//! the grammar — derivative vectors, nullability, character classes —
+//! is computed now; what remains at parse time depends only on the
+//! input string.
+//!
+//! MetaOCaml lets flap splice the residual program together as typed
+//! code and compile it. Rust has no typed run-time staging, so this
+//! crate materializes the same residual program as data: one
+//! [`State`] per indexed function `S_{F_n,k}` (memoized on the pair
+//! of derivative vector and continuation, exactly as §5.4 memoizes
+//! generated functions), each holding a dense 256-way branch table.
+//! The [`vm`](crate::vm) module then executes that program with a
+//! loop that does per character exactly what flap's generated OCaml
+//! does: one table lookup and a jump — no derivative computation, no
+//! token materialization, no allocation.
+//!
+//! The [`codegen`](crate::codegen) module additionally prints the
+//! states as genuine Rust source (the §5.5 excerpt), which is what a
+//! build-script user can compile ahead of time.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use flap_cfe::TokAction;
+use flap_dgnf::Reduce;
+use flap_fuse::FusedGrammar;
+use flap_lex::Lexer;
+use flap_regex::{ByteSet, ClassCache, RegexArena, RegexId};
+
+/// Transition-table entry: `STOP`, or a target state with a *mark*
+/// bit recording that entering the target establishes a new longest
+/// match (the `rs := cs` update of Fig 10).
+pub(crate) const STOP: u32 = u32::MAX;
+
+/// What `Step(k, rs)` does in the state's stop situation (dead input
+/// byte or end of input) — determined statically by the state's
+/// continuation index `k`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StopAction {
+    /// `k = no`: parsing this nonterminal fails.
+    Fail,
+    /// `k = back`: take the ε-production of the nonterminal
+    /// (identified by its dense index), consuming nothing.
+    Eps(u32),
+    /// `k = on n̄`: commit to the fused production with this flat
+    /// index, consuming up to the last mark.
+    Match(u32),
+}
+
+/// One compiled state `S_{F_n,k}`.
+#[derive(Clone)]
+pub struct State {
+    /// `next[b]`: `STOP`, or `(target << 1) | mark`.
+    pub(crate) next: Box<[u32; 256]>,
+    /// Behaviour when no transition applies.
+    pub(crate) stop: StopAction,
+    /// The character classes of this state (kept for code generation
+    /// and Table 1 metrics; the VM uses only `next`).
+    pub(crate) classes: Vec<(ByteSet, u32)>,
+}
+
+/// A fused production in its compiled form.
+pub(crate) enum CompiledProd<V> {
+    /// F2 skip self-loop: retry the owning nonterminal.
+    Skip {
+        /// The nonterminal to re-enter.
+        nt: u32,
+    },
+    /// F1 token production.
+    Token {
+        tok_action: TokAction<V>,
+        reduce: Reduce<V>,
+        tail: Vec<u32>,
+    },
+}
+
+/// A fused grammar compiled to transition tables — flap's "generated
+/// code", executable via [`CompiledParser::parse`] or printable as
+/// Rust source via [`crate::codegen::emit_rust`].
+pub struct CompiledParser<V> {
+    pub(crate) states: Vec<State>,
+    /// Flat transition table used by the VM:
+    /// `trans[(state << 8) | byte]` (one load per input byte).
+    pub(crate) trans: Vec<u32>,
+    /// Stop action per state, consulted only when no transition
+    /// applies.
+    pub(crate) stops: Vec<StopAction>,
+    /// Start state per nonterminal (dense `NtId` index).
+    pub(crate) nt_start: Vec<u32>,
+    /// Flat production table; `StopAction::Match` indexes into it.
+    pub(crate) prods: Vec<CompiledProd<V>>,
+    /// ε reduces per nonterminal (`StopAction::Eps` indexes by NT).
+    pub(crate) eps: Vec<Option<Reduce<V>>>,
+    /// Dense DFA for the skip regex, used to consume trailing
+    /// skippable input; `None` when the lexer had no skip rule.
+    pub(crate) skip: Option<flap_regex::Dfa>,
+    pub(crate) start_nt: u32,
+}
+
+impl<V> CompiledParser<V> {
+    /// Compiles `fused` ahead of parse time (the first stage of
+    /// Fig 10).
+    ///
+    /// All derivative and character-class computation happens here,
+    /// against the lexer's regex arena; the resulting parser is
+    /// self-contained.
+    pub fn compile(lexer: &mut Lexer, fused: &FusedGrammar<V>) -> CompiledParser<V> {
+        let skip = lexer.skip_regex().map(|r| flap_regex::Dfa::build(lexer.arena_mut(), r));
+        let mut c = Compiler {
+            arena: lexer.arena_mut(),
+            cache: ClassCache::new(),
+            states: Vec::new(),
+            memo: HashMap::new(),
+            worklist: Vec::new(),
+        };
+
+        // Flatten productions and pre-allocate per-NT tables.
+        let nt_count = fused.nt_count();
+        let mut prods: Vec<CompiledProd<V>> = Vec::new();
+        let mut eps: Vec<Option<Reduce<V>>> = Vec::with_capacity(nt_count);
+        let mut per_nt_prods: Vec<Vec<(RegexId, u32)>> = Vec::with_capacity(nt_count);
+        for nt in fused.nts() {
+            let entry = fused.entry(nt);
+            let mut list = Vec::with_capacity(entry.prods.len());
+            for p in &entry.prods {
+                let flat = prods.len() as u32;
+                match &p.token {
+                    None => prods.push(CompiledProd::Skip { nt: nt.index() as u32 }),
+                    Some(t) => prods.push(CompiledProd::Token {
+                        tok_action: Rc::clone(&t.tok_action),
+                        reduce: t.reduce.clone(),
+                        tail: t.tail.iter().map(|m| m.index() as u32).collect(),
+                    }),
+                }
+                list.push((p.regex, flat));
+            }
+            per_nt_prods.push(list);
+            eps.push(entry.eps.as_ref().map(|(_, e)| e.clone()));
+        }
+
+        // One start state per nonterminal: k = back iff it has ε.
+        let mut nt_start = Vec::with_capacity(nt_count);
+        for nt in 0..nt_count {
+            let k = if eps[nt].is_some() { StopAction::Eps(nt as u32) } else { StopAction::Fail };
+            let id = c.intern(per_nt_prods[nt].clone(), k);
+            nt_start.push(id);
+        }
+        c.run();
+
+        // Flatten for the VM: one contiguous table, one load per byte.
+        let mut trans = vec![STOP; c.states.len() << 8];
+        let mut stops = Vec::with_capacity(c.states.len());
+        for (sid, st) in c.states.iter().enumerate() {
+            stops.push(st.stop);
+            for b in 0..256usize {
+                trans[(sid << 8) | b] = st.next[b];
+            }
+        }
+        CompiledParser {
+            states: c.states,
+            trans,
+            stops,
+            nt_start,
+            prods,
+            eps,
+            skip,
+            start_nt: fused.start().index() as u32,
+        }
+    }
+
+    /// Number of generated states — the analogue of the "Output
+    /// functions" column of Table 1 (flap memoizes one generated
+    /// function per `(F_n, k)` pair; so do we).
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+}
+
+struct Compiler<'a> {
+    arena: &'a mut RegexArena,
+    cache: ClassCache,
+    states: Vec<State>,
+    /// `(live derivative vector, k)` → state id; the memoization that
+    /// guarantees termination of generation (§5.4).
+    memo: HashMap<(Vec<(RegexId, u32)>, StopAction), u32>,
+    worklist: Vec<(Vec<(RegexId, u32)>, u32)>,
+}
+
+impl Compiler<'_> {
+    fn intern(&mut self, live: Vec<(RegexId, u32)>, k: StopAction) -> u32 {
+        if let Some(&id) = self.memo.get(&(live.clone(), k)) {
+            return id;
+        }
+        let id = self.states.len() as u32;
+        self.states.push(State { next: Box::new([STOP; 256]), stop: k, classes: Vec::new() });
+        self.memo.insert((live.clone(), k), id);
+        self.worklist.push((live, id));
+        id
+    }
+
+    fn run(&mut self) {
+        while let Some((live, id)) = self.worklist.pop() {
+            let regexes: Vec<RegexId> = live.iter().map(|&(r, _)| r).collect();
+            let part = self.cache.classes_of_vector(self.arena, &regexes);
+            let mut next = Box::new([STOP; 256]);
+            let mut classes = Vec::with_capacity(part.len());
+            for set in part.sets() {
+                let rep = set.min_byte().expect("partition classes are non-empty");
+                // L'_c: the non-⊥ derivatives.
+                let mut succ: Vec<(RegexId, u32)> = Vec::with_capacity(live.len());
+                for &(r, prod) in &live {
+                    let d = self.arena.deriv(r, rep);
+                    if d != RegexArena::EMPTY {
+                        succ.push((d, prod));
+                    }
+                }
+                let entry = if succ.is_empty() {
+                    STOP
+                } else {
+                    // K: the (unique, by lexer disjointness) nullable rule.
+                    let mut nullable = succ.iter().filter(|&&(r, _)| self.arena.nullable(r));
+                    let (k2, mark) = match nullable.next() {
+                        Some(&(_, prod)) => {
+                            debug_assert!(
+                                nullable.next().is_none(),
+                                "fused production regexes must be disjoint"
+                            );
+                            (StopAction::Match(prod), 1)
+                        }
+                        None => (self.states[id as usize].stop, 0),
+                    };
+                    let target = self.intern(succ, k2);
+                    (target << 1) | mark
+                };
+                classes.push((*set, entry));
+                for b in set.iter() {
+                    next[b as usize] = entry;
+                }
+            }
+            self.states[id as usize].next = next;
+            self.states[id as usize].classes = classes;
+        }
+    }
+}

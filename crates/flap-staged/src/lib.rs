@@ -1,0 +1,56 @@
+//! Staged compilation of fused grammars (§5.4–5.5 of the flap
+//! paper).
+//!
+//! The unstaged fused parser of `flap-fuse` computes regex
+//! derivatives for every input character. This crate performs that
+//! work once, ahead of parsing:
+//!
+//! * [`CompiledParser::compile`] builds one state per indexed
+//!   function `S_{F_n,k}` of Fig 10 (memoized on the derivative
+//!   vector and continuation), with a dense byte-indexed transition
+//!   table and a statically-known stop action per state;
+//! * [`CompiledParser::parse`] / [`CompiledParser::recognize`]
+//!   execute the tables with a per-character cost of one load and
+//!   one jump — the Rust analogue of flap's generated OCaml;
+//! * [`codegen::emit_rust`] prints the states as compilable Rust
+//!   source, reproducing the generated-code excerpt of §5.5;
+//! * [`measure_pipeline`] collects the Table 1 size columns and the
+//!   Table 2 compilation-time breakdown.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use flap_cfe::Cfe;
+//! use flap_dgnf::normalize;
+//! use flap_fuse::fuse;
+//! use flap_lex::LexerBuilder;
+//! use flap_staged::CompiledParser;
+//!
+//! let mut b = LexerBuilder::new();
+//! let num = b.token("num", "[0-9]+")?;
+//! b.skip(" ")?;
+//! let plus = b.token("plus", r"\+")?;
+//! let mut lexer = b.build()?;
+//!
+//! let sum: Cfe<i64> = Cfe::sep_by1(
+//!     Cfe::tok_with(num, |lx| std::str::from_utf8(lx).unwrap().parse().unwrap()),
+//!     Cfe::tok_val(plus, 0),
+//!     || 0,
+//!     |a, b| a + b,
+//! );
+//! let grammar = normalize(&sum)?;
+//! let fused = fuse(&mut lexer, &grammar)?;
+//! let parser = CompiledParser::compile(&mut lexer, &fused);
+//! assert_eq!(parser.parse(b"1 + 2 + 39")?, 42);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod codegen;
+mod compile;
+mod metrics;
+mod vm;
+
+pub use compile::{CompiledParser, State, StopAction};
+pub use metrics::{measure_pipeline, CompileTimes, SizeReport};

@@ -1,0 +1,131 @@
+//! Pipeline metrics — the columns of Table 1 and the timings of
+//! Table 2, collected in one place so the benchmark harness and tests
+//! agree on definitions.
+
+use std::time::{Duration, Instant};
+
+use flap_cfe::Cfe;
+use flap_dgnf::{normalize, Grammar};
+use flap_fuse::{fuse, FusedGrammar};
+use flap_lex::Lexer;
+
+use crate::compile::CompiledParser;
+
+/// The "Sizes of inputs, intermediate forms, and generated code" row
+/// for one grammar (Table 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SizeReport {
+    /// Canonical lexer rules (Return + Skip).
+    pub lex_rules: usize,
+    /// Context-free expression nodes in the input grammar.
+    pub cfes: usize,
+    /// Nonterminals after normalization.
+    pub nts: usize,
+    /// Productions after normalization.
+    pub prods: usize,
+    /// Productions after fusion (F1 + F2 + F3 rules).
+    pub fused_prods: usize,
+    /// Generated functions (compiled states, one per `S_{F_n,k}`).
+    pub functions: usize,
+}
+
+/// Wall-clock breakdown of one compilation run (Table 2 reports the
+/// total).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CompileTimes {
+    /// Type checking (Fig 2).
+    pub type_check: Duration,
+    /// Normalization to DGNF (Fig 4) plus the Definition 2 check.
+    pub normalize: Duration,
+    /// Fusion (Fig 6).
+    pub fuse: Duration,
+    /// Staged code generation (Fig 10 first stage).
+    pub stage: Duration,
+}
+
+impl CompileTimes {
+    /// Total compilation time, as reported in Table 2.
+    pub fn total(&self) -> Duration {
+        self.type_check + self.normalize + self.fuse + self.stage
+    }
+}
+
+/// Runs the full pipeline on one grammar, returning every
+/// intermediate stage together with sizes and timings.
+///
+/// # Errors
+///
+/// Propagates the first pipeline error, stringified (the harness only
+/// reports it).
+pub fn measure_pipeline<V: 'static>(
+    lexer: &mut Lexer,
+    cfe: &Cfe<V>,
+) -> Result<(Grammar<V>, FusedGrammar<V>, CompiledParser<V>, SizeReport, CompileTimes), String> {
+    let mut times = CompileTimes::default();
+
+    let t0 = Instant::now();
+    flap_cfe::type_check(cfe).map_err(|e| e.to_string())?;
+    times.type_check = t0.elapsed();
+
+    let t0 = Instant::now();
+    let grammar = normalize(cfe).map_err(|e| e.to_string())?;
+    grammar.check_dgnf().map_err(|e| e.to_string())?;
+    times.normalize = t0.elapsed();
+
+    let t0 = Instant::now();
+    let fused = fuse(lexer, &grammar).map_err(|e| e.to_string())?;
+    times.fuse = t0.elapsed();
+
+    let t0 = Instant::now();
+    let compiled = CompiledParser::compile(lexer, &fused);
+    times.stage = t0.elapsed();
+
+    let sizes = SizeReport {
+        lex_rules: lexer.rule_count(),
+        cfes: flap_cfe::node_count(cfe),
+        nts: grammar.nt_count(),
+        prods: grammar.prod_count(),
+        fused_prods: fused.prod_count(),
+        functions: compiled.state_count(),
+    };
+    Ok((grammar, fused, compiled, sizes, times))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flap_cfe::Cfe;
+    use flap_lex::LexerBuilder;
+
+    #[test]
+    fn sexp_sizes_match_table_1_shape() {
+        let mut b = LexerBuilder::new();
+        let atom = b.token("atom", "[a-z]+").unwrap();
+        b.skip("[ \n]").unwrap();
+        let lpar = b.token("lpar", r"\(").unwrap();
+        let rpar = b.token("rpar", r"\)").unwrap();
+        let mut lexer = b.build().unwrap();
+        let sexp: Cfe<i64> = Cfe::fix(|sexp| {
+            let sexps =
+                Cfe::fix(|sexps| Cfe::eps_with(|| 0).or(sexp.then(sexps, |a, b| a + b)));
+            Cfe::tok_val(lpar, 0)
+                .then(sexps, |_, n| n)
+                .then(Cfe::tok_val(rpar, 0), |n, _| n)
+                .or(Cfe::tok_val(atom, 1))
+        });
+        let (_, _, compiled, sizes, times) = measure_pipeline(&mut lexer, &sexp).unwrap();
+        // Paper's Table 1 row for sexp: 4 lex rules, 11 CFEs, 3 NTs,
+        // 6 prods, 9 fused prods, 11 functions. Our CFE count is 13
+        // because we also count the two μ binder nodes; the other
+        // columns match exactly.
+        assert_eq!(sizes.lex_rules, 4);
+        assert_eq!(sizes.cfes, 13);
+        assert_eq!(sizes.nts, 3);
+        assert_eq!(sizes.prods, 6);
+        assert_eq!(sizes.fused_prods, 9);
+        assert_eq!(sizes.functions, compiled.state_count());
+        assert!(times.total() > Duration::ZERO);
+        // compilation is fast (paper: 0.331 ms for sexp)
+        assert!(times.total() < Duration::from_secs(2));
+    }
+}

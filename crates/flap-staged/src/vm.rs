@@ -1,0 +1,314 @@
+//! Execution of compiled parsers — the second stage of Fig 10.
+//!
+//! The per-character work here matches flap's generated OCaml (§5.5):
+//! index a dense table with the input byte and jump. Longest-match
+//! bookkeeping is one conditional move (the mark bit); production
+//! completion pushes the tail nonterminals on an explicit control
+//! stack instead of making nested calls, so deeply nested inputs
+//! cannot overflow the machine stack.
+//!
+//! Steady-state parsing performs no allocation: the control stack,
+//! value stack and all tables are reused or preallocated, and
+//! semantic values are built only by the user's own actions — the
+//! "no allocation, except where these elements are inserted by the
+//! user" property of §2.8.
+
+use flap_fuse::FusedParseError;
+
+use crate::compile::{CompiledParser, CompiledProd, StopAction, STOP};
+
+/// Control-stack entry: parse a nonterminal, or run a production's
+/// reduce.
+#[derive(Clone, Copy)]
+enum Ctl {
+    Nt(u32),
+    Reduce(u32),
+}
+
+impl<V> CompiledParser<V> {
+    /// Parses the whole input, returning the semantic value.
+    ///
+    /// Trailing skippable input (e.g. final whitespace) is consumed
+    /// after the start symbol completes.
+    ///
+    /// # Errors
+    ///
+    /// [`FusedParseError`] — the same error type as the unstaged
+    /// fused parser, so the two can be compared differentially.
+    pub fn parse(&self, input: &[u8]) -> Result<V, FusedParseError> {
+        let mut values: Vec<V> = Vec::new();
+        let mut control: Vec<Ctl> = vec![Ctl::Nt(self.start_nt)];
+        let mut pos = 0usize;
+
+        while let Some(ctl) = control.pop() {
+            match ctl {
+                Ctl::Reduce(p) => match &self.prods[p as usize] {
+                    CompiledProd::Token { reduce, .. } => reduce.run(&mut values),
+                    CompiledProd::Skip { .. } => unreachable!("skip has no reduce"),
+                },
+                Ctl::Nt(nt) => {
+                    let start_state = self.nt_start[nt as usize] as usize;
+                    // skip productions (F2 self-loops) restart the
+                    // scan inline, without a control-stack round trip
+                    'token: loop {
+                        let tok_start = pos;
+                        let mut st = start_state;
+                        let mut rs = pos;
+                        let mut i = pos;
+                        let stop = loop {
+                            if i >= input.len() {
+                                break self.stops[st];
+                            }
+                            let e = self.trans[(st << 8) | input[i] as usize];
+                            if e == STOP {
+                                break self.stops[st];
+                            }
+                            i += 1;
+                            if e & 1 == 1 {
+                                rs = i;
+                            }
+                            st = (e >> 1) as usize;
+                        };
+                        match stop {
+                            StopAction::Fail => {
+                                return Err(FusedParseError::NoMatch {
+                                    pos: tok_start,
+                                    nt: flap_dgnf::NtId::from_index(nt as usize),
+                                });
+                            }
+                            StopAction::Eps(n) => {
+                                let eps = self.eps[n as usize]
+                                    .as_ref()
+                                    .expect("Eps stop action implies an ε rule");
+                                eps.run(&mut values);
+                                pos = tok_start;
+                                break 'token;
+                            }
+                            StopAction::Match(p) => {
+                                pos = rs;
+                                match &self.prods[p as usize] {
+                                    CompiledProd::Skip { .. } => continue 'token,
+                                    CompiledProd::Token { tok_action, tail, reduce } => {
+                                        values.push(tok_action(&input[tok_start..rs]));
+                                        // identity reductions (plain
+                                        // `n → t`) need no round trip
+                                        if !reduce.is_identity() {
+                                            control.push(Ctl::Reduce(p));
+                                        }
+                                        for &m in tail.iter().rev() {
+                                            control.push(Ctl::Nt(m));
+                                        }
+                                        break 'token;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        pos = self.trailing(input, pos);
+        if pos != input.len() {
+            return Err(FusedParseError::TrailingInput { pos });
+        }
+        debug_assert_eq!(values.len(), 1, "parse must produce exactly one value");
+        Ok(values.pop().expect("parse produced no value"))
+    }
+
+    /// Recognizes the input without running any semantic action —
+    /// the pure cost of fused, staged scanning (used by the ablation
+    /// benchmarks to separate action cost from parsing cost).
+    ///
+    /// # Errors
+    ///
+    /// [`FusedParseError`], as for [`CompiledParser::parse`].
+    pub fn recognize(&self, input: &[u8]) -> Result<(), FusedParseError> {
+        let mut control: Vec<u32> = vec![self.start_nt];
+        let mut pos = 0usize;
+        while let Some(nt) = control.pop() {
+            let start_state = self.nt_start[nt as usize] as usize;
+            'token: loop {
+                let tok_start = pos;
+                let mut st = start_state;
+                let mut rs = pos;
+                let mut i = pos;
+                let stop = loop {
+                    if i >= input.len() {
+                        break self.stops[st];
+                    }
+                    let e = self.trans[(st << 8) | input[i] as usize];
+                    if e == STOP {
+                        break self.stops[st];
+                    }
+                    i += 1;
+                    if e & 1 == 1 {
+                        rs = i;
+                    }
+                    st = (e >> 1) as usize;
+                };
+                match stop {
+                    StopAction::Fail => {
+                        return Err(FusedParseError::NoMatch {
+                            pos: tok_start,
+                            nt: flap_dgnf::NtId::from_index(nt as usize),
+                        });
+                    }
+                    StopAction::Eps(_) => {
+                        pos = tok_start;
+                        break 'token;
+                    }
+                    StopAction::Match(p) => {
+                        pos = rs;
+                        match &self.prods[p as usize] {
+                            CompiledProd::Skip { .. } => continue 'token,
+                            CompiledProd::Token { tail, .. } => {
+                                for &m in tail.iter().rev() {
+                                    control.push(m);
+                                }
+                                break 'token;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        pos = self.trailing(input, pos);
+        if pos != input.len() {
+            return Err(FusedParseError::TrailingInput { pos });
+        }
+        Ok(())
+    }
+
+    fn trailing(&self, input: &[u8], mut pos: usize) -> usize {
+        if let Some(skip) = &self.skip {
+            while pos < input.len() {
+                match skip.longest_match(&input[pos..]) {
+                    Some(n) if n > 0 => pos += n,
+                    _ => break,
+                }
+            }
+        }
+        pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flap_cfe::Cfe;
+    use flap_dgnf::normalize;
+    use flap_fuse::fuse;
+    use flap_lex::LexerBuilder;
+
+    fn sexp_parser() -> CompiledParser<i64> {
+        let mut b = LexerBuilder::new();
+        let atom = b.token("atom", "[a-z]+").unwrap();
+        b.skip("[ \n]").unwrap();
+        let lpar = b.token("lpar", r"\(").unwrap();
+        let rpar = b.token("rpar", r"\)").unwrap();
+        let mut lexer = b.build().unwrap();
+        let sexp: Cfe<i64> = Cfe::fix(|sexp| {
+            let sexps =
+                Cfe::fix(|sexps| Cfe::eps_with(|| 0).or(sexp.then(sexps, |a, b| a + b)));
+            Cfe::tok_val(lpar, 0)
+                .then(sexps, |_, n| n)
+                .then(Cfe::tok_val(rpar, 0), |n, _| n)
+                .or(Cfe::tok_val(atom, 1))
+        });
+        let g = normalize(&sexp).unwrap();
+        g.check_dgnf().unwrap();
+        let fused = fuse(&mut lexer, &g).unwrap();
+        CompiledParser::compile(&mut lexer, &fused)
+    }
+
+    #[test]
+    fn parses_sexps() {
+        let p = sexp_parser();
+        assert_eq!(p.parse(b"a").unwrap(), 1);
+        assert_eq!(p.parse(b"()").unwrap(), 0);
+        assert_eq!(p.parse(b"(a b c)").unwrap(), 3);
+        assert_eq!(p.parse(b"(a (b (c d)) e)").unwrap(), 5);
+        assert_eq!(p.parse(b"  ( a\n(b) )  ").unwrap(), 2);
+    }
+
+    #[test]
+    fn recognizes_without_actions() {
+        let p = sexp_parser();
+        assert!(p.recognize(b"(a (b c))").is_ok());
+        assert!(p.recognize(b"(a").is_err());
+        assert!(p.recognize(b"x y").is_err());
+    }
+
+    #[test]
+    fn error_positions_match_unstaged() {
+        let p = sexp_parser();
+        for input in [&b"(a"[..], b")", b"", b"a b", b"(a) !", b"ab!"] {
+            let staged = p.parse(input);
+            assert!(staged.is_err(), "{:?} should fail", input);
+        }
+    }
+
+    #[test]
+    fn deep_nesting_does_not_overflow() {
+        let p = sexp_parser();
+        let depth = 100_000;
+        let mut input = Vec::with_capacity(2 * depth + 1);
+        input.extend(std::iter::repeat_n(b'(', depth));
+        input.push(b'x');
+        input.extend(std::iter::repeat_n(b')', depth));
+        assert_eq!(p.parse(&input).unwrap(), 1);
+    }
+
+    #[test]
+    fn state_count_is_modest() {
+        // Table 1 reports 11 generated functions for sexp.
+        let p = sexp_parser();
+        assert!(
+            (4..=24).contains(&p.state_count()),
+            "suspicious state count {}",
+            p.state_count()
+        );
+    }
+
+    #[test]
+    fn differential_vs_unstaged_fused() {
+        let p = sexp_parser();
+        // rebuild unstaged pipeline
+        let mut b = LexerBuilder::new();
+        b.token("atom", "[a-z]+").unwrap();
+        b.skip("[ \n]").unwrap();
+        b.token("lpar", r"\(").unwrap();
+        b.token("rpar", r"\)").unwrap();
+        let mut lexer = b.build().unwrap();
+        let atom = flap_lex::Token::from_index(0);
+        let lpar = flap_lex::Token::from_index(1);
+        let rpar = flap_lex::Token::from_index(2);
+        let sexp: Cfe<i64> = Cfe::fix(|sexp| {
+            let sexps =
+                Cfe::fix(|sexps| Cfe::eps_with(|| 0).or(sexp.then(sexps, |a, b| a + b)));
+            Cfe::tok_val(lpar, 0)
+                .then(sexps, |_, n| n)
+                .then(Cfe::tok_val(rpar, 0), |n, _| n)
+                .or(Cfe::tok_val(atom, 1))
+        });
+        let g = normalize(&sexp).unwrap();
+        let fused = fuse(&mut lexer, &g).unwrap();
+        for input in [
+            &b"a"[..],
+            b"()",
+            b"(a b c)",
+            b"((a) (b c) ())",
+            b" ( x ) ",
+            b"(a",
+            b")",
+            b"",
+            b"a b",
+            b"(((((deep)))))",
+        ] {
+            let skip = lexer.skip_regex();
+            let unstaged = flap_fuse::parse_fused(&fused, lexer.arena_mut(), skip, input);
+            let staged = p.parse(input);
+            assert_eq!(unstaged, staged, "disagreement on {:?}", input);
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests (proptest) on the substrate layers: regex
+//! derivatives, DFA agreement, and lexer longest-match.
+
+use flap_lex::{lex_reference, CompiledLexer, LexerBuilder};
+use flap_regex::{ByteSet, Dfa, RegexArena, RegexId};
+use proptest::prelude::*;
+
+/// A tiny regex AST we can generate structurally, then intern.
+#[derive(Clone, Debug)]
+enum Rx {
+    Eps,
+    Byte(u8),
+    Class(u8, u8),
+    Seq(Box<Rx>, Box<Rx>),
+    Alt(Box<Rx>, Box<Rx>),
+    Star(Box<Rx>),
+    And(Box<Rx>, Box<Rx>),
+    Not(Box<Rx>),
+}
+
+fn rx_strategy() -> impl Strategy<Value = Rx> {
+    let leaf = prop_oneof![
+        Just(Rx::Eps),
+        (b'a'..=b'd').prop_map(Rx::Byte),
+        (b'a'..=b'd', b'a'..=b'd').prop_map(|(x, y)| Rx::Class(x.min(y), x.max(y))),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Rx::Seq(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Rx::Alt(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| Rx::Star(Box::new(a))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Rx::And(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| Rx::Not(Box::new(a))),
+        ]
+    })
+}
+
+fn intern(ar: &mut RegexArena, rx: &Rx) -> RegexId {
+    match rx {
+        Rx::Eps => RegexArena::EPS,
+        Rx::Byte(b) => ar.byte(*b),
+        Rx::Class(lo, hi) => ar.class(ByteSet::range(*lo, *hi)),
+        Rx::Seq(a, b) => {
+            let (x, y) = (intern(ar, a), intern(ar, b));
+            ar.seq(x, y)
+        }
+        Rx::Alt(a, b) => {
+            let (x, y) = (intern(ar, a), intern(ar, b));
+            ar.alt(x, y)
+        }
+        Rx::Star(a) => {
+            let x = intern(ar, a);
+            ar.star(x)
+        }
+        Rx::And(a, b) => {
+            let (x, y) = (intern(ar, a), intern(ar, b));
+            ar.and(x, y)
+        }
+        Rx::Not(a) => {
+            let x = intern(ar, a);
+            ar.not(x)
+        }
+    }
+}
+
+/// Direct denotational matcher over the small AST (the oracle).
+fn naive(rx: &Rx, w: &[u8]) -> bool {
+    match rx {
+        Rx::Eps => w.is_empty(),
+        Rx::Byte(b) => w == [*b],
+        Rx::Class(lo, hi) => w.len() == 1 && (*lo..=*hi).contains(&w[0]),
+        Rx::Seq(a, b) => (0..=w.len()).any(|k| naive(a, &w[..k]) && naive(b, &w[k..])),
+        Rx::Alt(a, b) => naive(a, w) || naive(b, w),
+        Rx::Star(a) => {
+            if w.is_empty() {
+                return true;
+            }
+            // split off a non-empty prefix matched by `a`
+            (1..=w.len()).any(|k| naive(a, &w[..k]) && naive(&Rx::Star(a.clone()), &w[k..]))
+        }
+        Rx::And(a, b) => naive(a, w) && naive(b, w),
+        Rx::Not(a) => !naive(a, w),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn derivatives_agree_with_denotation(rx in rx_strategy(), w in proptest::collection::vec(b'a'..=b'e', 0..6)) {
+        let mut ar = RegexArena::new();
+        let id = intern(&mut ar, &rx);
+        prop_assert_eq!(ar.matches(id, &w), naive(&rx, &w));
+    }
+
+    #[test]
+    fn dfa_agrees_with_derivatives(rx in rx_strategy(), w in proptest::collection::vec(b'a'..=b'e', 0..8)) {
+        let mut ar = RegexArena::new();
+        let id = intern(&mut ar, &rx);
+        let dfa = Dfa::build(&mut ar, id);
+        prop_assert_eq!(dfa.matches(&w), ar.matches(id, &w));
+    }
+
+    #[test]
+    fn compiled_lexer_agrees_with_fig7(input in proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'0'), Just(b'('), Just(b' '), Just(b'!')], 0..40)) {
+        let build = || {
+            let mut b = LexerBuilder::new();
+            b.token("word", "[ab]+").unwrap();
+            b.token("num", "[0-9]+").unwrap();
+            b.token("lpar", r"\(").unwrap();
+            b.skip(" ").unwrap();
+            b.build().unwrap()
+        };
+        let mut l1 = build();
+        let mut l2 = build();
+        let clex = CompiledLexer::build(&mut l2);
+        let reference = lex_reference(&mut l1, &input);
+        let compiled = clex.tokenize(&input);
+        prop_assert_eq!(reference, compiled);
+    }
+
+    #[test]
+    fn equivalence_is_reflexive_under_rewrites(rx in rx_strategy()) {
+        // r | r ≡ r,  r·ε ≡ r,  ¬¬r ≡ r at the language level
+        let mut ar = RegexArena::new();
+        let id = intern(&mut ar, &rx);
+        let orr = ar.alt(id, id);
+        prop_assert!(flap_regex::equivalent(&mut ar, orr, id));
+        let seq_eps = ar.seq(id, RegexArena::EPS);
+        prop_assert!(flap_regex::equivalent(&mut ar, seq_eps, id));
+        let nn = {
+            let n = ar.not(id);
+            ar.not(n)
+        };
+        prop_assert!(flap_regex::equivalent(&mut ar, nn, id));
+    }
+}
