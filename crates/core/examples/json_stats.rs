@@ -15,7 +15,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let (source, data) = match std::env::args().nth(1) {
         Some(path) => (path.clone(), std::fs::read(path)?),
-        None => ("generated sample (4 MB)".to_string(), (def.generate)(7, 4_000_000)),
+        None => (
+            "generated sample (4 MB)".to_string(),
+            (def.generate)(7, 4_000_000),
+        ),
     };
 
     let t0 = Instant::now();
@@ -26,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("bytes:      {}", data.len());
     println!("objects:    {objects}");
     println!("time:       {:.2} ms", dt.as_secs_f64() * 1e3);
-    println!("throughput: {:.1} MB/s", data.len() as f64 / dt.as_secs_f64() / 1e6);
+    println!(
+        "throughput: {:.1} MB/s",
+        data.len() as f64 / dt.as_secs_f64() / 1e6
+    );
 
     // cross-check against the independent reference parser
     assert_eq!((def.reference)(&data).ok(), Some(objects));

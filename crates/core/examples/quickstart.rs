@@ -37,8 +37,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("atoms:  {}", parser.parse(input)?);
 
     // the intermediate forms remain inspectable:
-    println!("\nDGNF grammar (Fig 3d):\n{}", parser.dgnf().display(parser.lexer()));
-    println!("fused grammar (Fig 3e):\n{}", parser.fused().display(parser.lexer().arena()));
+    println!(
+        "\nDGNF grammar (Fig 3d):\n{}",
+        parser.dgnf().display(parser.lexer())
+    );
+    println!(
+        "fused grammar (Fig 3e):\n{}",
+        parser.fused().display(parser.lexer().arena())
+    );
     println!(
         "sizes: {} lexer rules, {} CFE nodes, {} nonterminals, {} productions, \
          {} fused productions, {} generated states",

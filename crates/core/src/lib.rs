@@ -54,6 +54,37 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
+//! # Concurrency
+//!
+//! A compiled [`Parser`] is immutable and `Send + Sync`: semantic
+//! actions are stored as `Arc<dyn Fn … + Send + Sync>` and all
+//! per-parse mutable state lives in a caller-owned [`ParseSession`].
+//! Share one parser across any number of threads, give each thread
+//! its own session (allocation-free steady state), or let
+//! [`Parser::parse_batch`] shard a batch of inputs across scoped
+//! worker threads:
+//!
+//! ```
+//! # use flap::{Cfe, LexerBuilder, Parser};
+//! # let mut lx = LexerBuilder::new();
+//! # let atom = lx.token("atom", "[a-z]+")?;
+//! # let lexer = lx.build()?;
+//! # let grammar: Cfe<i64> = Cfe::tok_val(atom, 1);
+//! let parser = Parser::compile(lexer, &grammar)?;
+//!
+//! // one reused session: zero allocations per parse at steady state
+//! let mut session = parser.session();
+//! for input in [&b"abc"[..], b"de", b"f"] {
+//!     assert_eq!(parser.parse_with(&mut session, input)?, 1);
+//! }
+//!
+//! // batch sharded over 4 worker threads, results in input order
+//! let docs: Vec<&[u8]> = vec![b"abc"; 1024];
+//! let results = parser.parse_batch(&docs, 4);
+//! assert!(results.iter().all(|r| *r.as_ref().unwrap() == 1));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
 //! # Crate map
 //!
 //! This crate re-exports the user-facing pieces of the pipeline
@@ -76,7 +107,7 @@ pub mod typed;
 pub use flap_cfe::{node_count, type_check, Cfe, Ty, TypeError, VarId};
 pub use flap_fuse::FusedParseError as ParseError;
 pub use flap_lex::{LexBuildError, Lexer, LexerBuilder, Token, TokenSet};
-pub use flap_staged::{CompileTimes, SizeReport};
+pub use flap_staged::{CompileTimes, ParseSession, SizeReport};
 pub use parser::{CompileError, Parser};
 
 // The pipeline crates, for users who need the intermediate stages.

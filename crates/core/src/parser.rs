@@ -2,12 +2,14 @@
 //! into a fused, staged parser.
 
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use flap_cfe::{Cfe, TypeError};
 use flap_dgnf::{DgnfError, Grammar, NormalizeError};
 use flap_fuse::{FuseError, FusedGrammar, FusedParseError};
 use flap_lex::Lexer;
-use flap_staged::{measure_pipeline, CompileTimes, CompiledParser, SizeReport};
+use flap_staged::{measure_pipeline, CompileTimes, CompiledParser, ParseSession, SizeReport};
 
 /// Everything that can go wrong between a grammar definition and a
 /// runnable parser.
@@ -48,10 +50,18 @@ impl From<TypeError> for CompileError {
 /// (Fig 4), fusing (Fig 6) and staging (Fig 10) a combinator grammar
 /// against a lexer.
 ///
+/// A `Parser` is an immutable, `Send + Sync` artifact: all per-parse
+/// mutable state lives in caller-owned [`ParseSession`]s. The compiled
+/// tables sit behind an [`Arc`], so cloning a `Parser` (or taking
+/// [`Parser::compiled_arc`]) shares them rather than copying — hand
+/// one parser to as many threads as you like, each with its own
+/// session, or let [`Parser::parse_batch`] shard a workload across
+/// scoped threads for you.
+///
 /// See [`Parser::compile`] for construction and the crate docs for a
 /// complete example.
 pub struct Parser<V> {
-    compiled: CompiledParser<V>,
+    compiled: Arc<CompiledParser<V>>,
     grammar: Grammar<V>,
     fused: FusedGrammar<V>,
     lexer: Lexer,
@@ -88,17 +98,47 @@ impl<V: 'static> Parser<V> {
                     },
                 }
             })?;
-        Ok(Parser { compiled, grammar, fused, lexer, sizes, times })
+        Ok(Parser {
+            compiled: Arc::new(compiled),
+            grammar,
+            fused,
+            lexer,
+            sizes,
+            times,
+        })
     }
 
     /// Parses a complete input, returning the semantic value.
     ///
+    /// Allocates a fresh [`ParseSession`] per call; loops should use
+    /// [`Parser::parse_with`] with a reused session instead.
+    ///
     /// # Errors
     ///
-    /// [`FusedParseError`] with a byte offset — there are no tokens
-    /// to report, by design.
+    /// [`FusedParseError`] with byte offset and line/column — there
+    /// are no tokens to report, by design.
     pub fn parse(&self, input: &[u8]) -> Result<V, FusedParseError> {
         self.compiled.parse(input)
+    }
+
+    /// Parses a complete input using caller-owned scratch state — the
+    /// allocation-free entry point (§2.8's "no allocation" property).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Parser::parse`].
+    pub fn parse_with(
+        &self,
+        session: &mut ParseSession<V>,
+        input: &[u8],
+    ) -> Result<V, FusedParseError> {
+        self.compiled.parse_with(session, input)
+    }
+
+    /// A fresh session for [`Parser::parse_with`] — create one per
+    /// worker thread and reuse it.
+    pub fn session(&self) -> ParseSession<V> {
+        ParseSession::new()
     }
 
     /// Recognizes a complete input without running semantic actions.
@@ -135,6 +175,14 @@ impl<V: 'static> Parser<V> {
         &self.compiled
     }
 
+    /// A shared handle to the compiled automaton — the tables are
+    /// behind `Arc`, so this is how long-lived workers (thread pools,
+    /// async tasks) keep the hot tables alive without holding the
+    /// whole `Parser` (lexer, intermediate grammars) in memory.
+    pub fn compiled_arc(&self) -> Arc<CompiledParser<V>> {
+        Arc::clone(&self.compiled)
+    }
+
     /// The canonicalized lexer.
     pub fn lexer(&self) -> &Lexer {
         &self.lexer
@@ -144,6 +192,77 @@ impl<V: 'static> Parser<V> {
     /// [`flap_staged::codegen::emit_rust`].
     pub fn emit_rust(&self, module_name: &str) -> String {
         flap_staged::codegen::emit_rust(&self.compiled, module_name)
+    }
+}
+
+impl<V: Send + 'static> Parser<V> {
+    /// Parses a batch of independent inputs in parallel on `threads`
+    /// scoped worker threads, returning one result per input, in
+    /// input order.
+    ///
+    /// The compiled tables are shared (`&self`); each worker owns one
+    /// [`ParseSession`], reused across all inputs it claims, so the
+    /// per-input cost is the same allocation-free hot path as
+    /// [`Parser::parse_with`]. Work is distributed dynamically (an
+    /// atomic cursor over the batch), so skewed input sizes don't
+    /// stall a whole shard.
+    ///
+    /// `threads == 0` selects [`std::thread::available_parallelism`];
+    /// `threads == 1` parses inline on the calling thread, making the
+    /// single-thread case an honest baseline for scaling comparisons.
+    pub fn parse_batch<I: AsRef<[u8]> + Sync>(
+        &self,
+        inputs: &[I],
+        threads: usize,
+    ) -> Vec<Result<V, FusedParseError>> {
+        let threads = match threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        };
+        if threads <= 1 || inputs.len() <= 1 {
+            let mut session = self.session();
+            return inputs
+                .iter()
+                .map(|i| self.parse_with(&mut session, i.as_ref()))
+                .collect();
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let mut collected: Vec<Vec<(usize, Result<V, FusedParseError>)>> =
+            Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads.min(inputs.len()))
+                .map(|_| {
+                    let cursor = &cursor;
+                    scope.spawn(move || {
+                        let mut session = self.session();
+                        let mut local = Vec::new();
+                        loop {
+                            let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                            if idx >= inputs.len() {
+                                break;
+                            }
+                            local.push((idx, self.parse_with(&mut session, inputs[idx].as_ref())));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for h in handles {
+                collected.push(h.join().expect("parse worker panicked"));
+            }
+        });
+        let mut results: Vec<Option<Result<V, FusedParseError>>> =
+            (0..inputs.len()).map(|_| None).collect();
+        for (idx, r) in collected.into_iter().flatten() {
+            results[idx] = Some(r);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every input index was claimed by a worker"))
+            .collect()
     }
 }
 
@@ -161,8 +280,7 @@ mod tests {
         let rpar = b.token("rpar", r"\)").unwrap();
         let lexer = b.build().unwrap();
         let g: Cfe<i64> = Cfe::fix(|sexp| {
-            let sexps =
-                Cfe::fix(|sexps| Cfe::eps_with(|| 0).or(sexp.then(sexps, |a, b| a + b)));
+            let sexps = Cfe::fix(|sexps| Cfe::eps_with(|| 0).or(sexp.then(sexps, |a, b| a + b)));
             Cfe::tok_val(lpar, 0)
                 .then(sexps, |_, n| n)
                 .then(Cfe::tok_val(rpar, 0), |n, _| n)
@@ -180,6 +298,79 @@ mod tests {
         assert_eq!(p.sizes().nts, 3);
         assert!(p.times().total().as_nanos() > 0);
         assert!(p.emit_rust("gen").contains("pub fn recognize"));
+    }
+
+    #[test]
+    fn parser_is_send_and_sync() {
+        // Compile-time assertion: the whole point of the Arc-based
+        // ownership model. `V` itself need not be Sync — values are
+        // created and consumed on one thread per parse.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Parser<i64>>();
+        assert_send_sync::<Parser<Vec<u8>>>();
+        assert_send_sync::<flap_staged::CompiledParser<i64>>();
+        assert_send_sync::<flap_fuse::FusedGrammar<i64>>();
+        assert_send_sync::<flap_dgnf::Grammar<i64>>();
+    }
+
+    #[test]
+    fn shared_across_threads_with_sessions() {
+        let p = sexp();
+        let p = &p;
+        let inputs: Vec<&[u8]> = vec![b"(a b)", b"(a (b c))", b"(", b"x", b"(a b c d)"];
+        let inputs = &inputs;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                handles.push(scope.spawn(move || {
+                    let mut session = p.session();
+                    inputs
+                        .iter()
+                        .map(|i| p.parse_with(&mut session, i).ok())
+                        .collect::<Vec<_>>()
+                }));
+            }
+            let expect: Vec<Option<i64>> = inputs.iter().map(|i| p.parse(i).ok()).collect();
+            for h in handles {
+                assert_eq!(h.join().unwrap(), expect);
+            }
+        });
+    }
+
+    #[test]
+    fn parse_batch_matches_sequential_in_order() {
+        let p = sexp();
+        let inputs: Vec<Vec<u8>> = (0..97)
+            .map(|i| {
+                if i % 7 == 3 {
+                    b"(a (".to_vec() // malformed
+                } else {
+                    let mut s = b"(".to_vec();
+                    s.extend(std::iter::repeat_n(&b"a "[..], i % 11).flatten());
+                    s.push(b')');
+                    s
+                }
+            })
+            .collect();
+        let sequential: Vec<_> = inputs.iter().map(|i| p.parse(i)).collect();
+        for threads in [0, 1, 2, 4, 8] {
+            assert_eq!(
+                p.parse_batch(&inputs, threads),
+                sequential,
+                "threads={threads}"
+            );
+        }
+        // empty batch
+        assert!(p.parse_batch(&Vec::<Vec<u8>>::new(), 4).is_empty());
+    }
+
+    #[test]
+    fn compiled_arc_shares_tables() {
+        let p = sexp();
+        let a = p.compiled_arc();
+        let b = p.compiled_arc();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.parse(b"(a b)").unwrap(), 2);
     }
 
     #[test]

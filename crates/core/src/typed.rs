@@ -20,6 +20,12 @@
 //! interface when you want to shave the `Any`-boxing off the hot
 //! path.
 //!
+//! User closures must be `Send + Sync` (the core pipeline stores them
+//! as `Arc<dyn Fn … + Send + Sync>` so compiled parsers are
+//! shareable). The *values* smuggled through the facade stay
+//! `Rc<dyn Any>`, so a `TypedParser` itself is single-threaded; the
+//! uniform interface is the one to use for cross-thread parsing.
+//!
 //! # Examples
 //!
 //! ```
@@ -64,7 +70,9 @@ fn wrap<T: 'static>(v: T) -> Dyn {
 }
 
 fn unwrap<T: 'static>(v: Dyn) -> T {
-    let rc = v.downcast::<T>().expect("typed facade: value of unexpected type");
+    let rc = v
+        .downcast::<T>()
+        .expect("typed facade: value of unexpected type");
     Rc::try_unwrap(rc).unwrap_or_else(|_| panic!("typed facade: value aliased"))
 }
 
@@ -77,35 +85,53 @@ pub struct TypedCfe<T> {
 
 impl<T> Clone for TypedCfe<T> {
     fn clone(&self) -> Self {
-        TypedCfe { inner: self.inner.clone(), _marker: PhantomData }
+        TypedCfe {
+            inner: self.inner.clone(),
+            _marker: PhantomData,
+        }
     }
 }
 
 /// `⊥`: fails on every input.
 pub fn bot<T>() -> TypedCfe<T> {
-    TypedCfe { inner: Cfe::bot(), _marker: PhantomData }
+    TypedCfe {
+        inner: Cfe::bot(),
+        _marker: PhantomData,
+    }
 }
 
 /// `ε`, yielding `f()`.
-pub fn eps_with<T: 'static>(f: impl Fn() -> T + 'static) -> TypedCfe<T> {
-    TypedCfe { inner: Cfe::eps_with(move || wrap(f())), _marker: PhantomData }
+pub fn eps_with<T: 'static>(f: impl Fn() -> T + Send + Sync + 'static) -> TypedCfe<T> {
+    TypedCfe {
+        inner: Cfe::eps_with(move || wrap(f())),
+        _marker: PhantomData,
+    }
 }
 
 /// `ε`, yielding a constant.
-pub fn eps<T: Clone + 'static>(v: T) -> TypedCfe<T> {
+pub fn eps<T: Clone + Send + Sync + 'static>(v: T) -> TypedCfe<T> {
     eps_with(move || v.clone())
 }
 
 /// A token, with its value computed from the lexeme bytes — the
 /// paper's `tok`.
-pub fn tok<T: 'static>(t: Token, f: impl Fn(&[u8]) -> T + 'static) -> TypedCfe<T> {
-    TypedCfe { inner: Cfe::tok_with(t, move |lx| wrap(f(lx))), _marker: PhantomData }
+pub fn tok<T: 'static>(t: Token, f: impl Fn(&[u8]) -> T + Send + Sync + 'static) -> TypedCfe<T> {
+    TypedCfe {
+        inner: Cfe::tok_with(t, move |lx| wrap(f(lx))),
+        _marker: PhantomData,
+    }
 }
 
 /// The least fixed point — the paper's `fix`.
 pub fn fix<T: 'static>(f: impl FnOnce(TypedCfe<T>) -> TypedCfe<T>) -> TypedCfe<T> {
     TypedCfe {
-        inner: Cfe::fix(|var| f(TypedCfe { inner: var, _marker: PhantomData }).inner),
+        inner: Cfe::fix(|var| {
+            f(TypedCfe {
+                inner: var,
+                _marker: PhantomData,
+            })
+            .inner
+        }),
         _marker: PhantomData,
     }
 }
@@ -123,12 +149,18 @@ impl<T: 'static> TypedCfe<T> {
 
     /// Alternation (both branches must produce the same type).
     pub fn or(self, other: TypedCfe<T>) -> TypedCfe<T> {
-        TypedCfe { inner: self.inner.or(other.inner), _marker: PhantomData }
+        TypedCfe {
+            inner: self.inner.or(other.inner),
+            _marker: PhantomData,
+        }
     }
 
     /// Applies a function to the semantic value.
-    pub fn map<U: 'static>(self, f: impl Fn(T) -> U + 'static) -> TypedCfe<U> {
-        TypedCfe { inner: self.inner.map(move |v| wrap(f(unwrap::<T>(v)))), _marker: PhantomData }
+    pub fn map<U: 'static>(self, f: impl Fn(T) -> U + Send + Sync + 'static) -> TypedCfe<U> {
+        TypedCfe {
+            inner: self.inner.map(move |v| wrap(f(unwrap::<T>(v)))),
+            _marker: PhantomData,
+        }
     }
 
     /// Zero or one occurrence.
@@ -142,7 +174,10 @@ impl<T: 'static> TypedCfe<T> {
     ///
     /// As [`Parser::compile`].
     pub fn compile(&self, lexer: Lexer) -> Result<TypedParser<T>, CompileError> {
-        Ok(TypedParser { inner: Parser::compile(lexer, &self.inner)?, _marker: PhantomData })
+        Ok(TypedParser {
+            inner: Parser::compile(lexer, &self.inner)?,
+            _marker: PhantomData,
+        })
     }
 
     /// The underlying uniform-value expression.
@@ -198,8 +233,9 @@ mod tests {
         let a = b.token("a", "a").unwrap();
         let n = b.token("n", "[0-9]+").unwrap();
         let lexer = b.build().unwrap();
-        let g: TypedCfe<(String, u32)> = tok(a, |_| "a".to_string())
-            .then(tok(n, |lx| std::str::from_utf8(lx).unwrap().parse().unwrap()));
+        let g: TypedCfe<(String, u32)> = tok(a, |_| "a".to_string()).then(tok(n, |lx| {
+            std::str::from_utf8(lx).unwrap().parse().unwrap()
+        }));
         let p = g.compile(lexer).unwrap();
         assert_eq!(p.parse(b"a42").unwrap(), ("a".to_string(), 42));
     }
@@ -215,9 +251,15 @@ mod tests {
         // ( word* ) — star is fine in non-leading position
         let words: TypedCfe<Vec<String>> =
             star(tok(w, |lx| String::from_utf8(lx.to_vec()).unwrap()));
-        let list = tok(lpar, |_| ()).then(words).then(tok(rpar, |_| ())).map(|(((), ws), ())| ws);
+        let list = tok(lpar, |_| ())
+            .then(words)
+            .then(tok(rpar, |_| ()))
+            .map(|(((), ws), ())| ws);
         let p = list.compile(lexer).unwrap();
-        assert_eq!(p.parse(b"(hello brave world)").unwrap(), vec!["hello", "brave", "world"]);
+        assert_eq!(
+            p.parse(b"(hello brave world)").unwrap(),
+            vec!["hello", "brave", "world"]
+        );
         assert_eq!(p.parse(b"()").unwrap(), Vec::<String>::new());
     }
 
@@ -252,7 +294,9 @@ mod tests {
                 .then(items)
                 .then(tok(rpar, |_| ()))
                 .map(|(((), xs), ())| Sexp::List(xs))
-                .or(tok(atom, |lx| Sexp::Atom(String::from_utf8(lx.to_vec()).unwrap())))
+                .or(tok(atom, |lx| {
+                    Sexp::Atom(String::from_utf8(lx.to_vec()).unwrap())
+                }))
         });
         let p = g.compile(lexer).unwrap();
         assert_eq!(

@@ -10,7 +10,7 @@
 //! asp does not fuse.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use flap_cfe::{Cfe, CfeNode, EpsAction, MapAction, SeqAction, TokAction, Ty, VarId};
 use flap_lex::{CompiledLexer, Lexer, Token, TokenSet};
@@ -52,9 +52,16 @@ impl<V: 'static> AspParser<V> {
     pub fn build(mut lexer: Lexer, cfe: &Cfe<V>) -> Result<Self, String> {
         flap_cfe::type_check(cfe).map_err(|e| e.to_string())?;
         let compiled = CompiledLexer::build(&mut lexer);
-        let mut b = Builder { nodes: Vec::new(), env: HashMap::new() };
+        let mut b = Builder {
+            nodes: Vec::new(),
+            env: HashMap::new(),
+        };
         let root = b.compile(cfe)?;
-        let mut parser = AspParser { lexer: compiled, nodes: b.nodes, root };
+        let mut parser = AspParser {
+            lexer: compiled,
+            nodes: b.nodes,
+            root,
+        };
         parser.bake_dispatch();
         Ok(parser)
     }
@@ -73,9 +80,7 @@ impl<V: 'static> AspParser<V> {
                     Node::Eps(_) => Ty::eps(),
                     Node::Tok(t, _) => Ty::tok(*t),
                     Node::Seq(a, b, _) => tys[*a as usize].seq(&tys[*b as usize]),
-                    Node::Alt { left, right, .. } => {
-                        tys[*left as usize].alt(&tys[*right as usize])
-                    }
+                    Node::Alt { left, right, .. } => tys[*left as usize].alt(&tys[*right as usize]),
                     Node::Map(a, _) | Node::Ref(a) => tys[*a as usize],
                 };
                 if ty != tys[i] {
@@ -88,8 +93,14 @@ impl<V: 'static> AspParser<V> {
             }
         }
         for i in 0..n {
-            if let Node::Alt { left, right, first_left, null_left, first_right, null_right } =
-                &mut self.nodes[i]
+            if let Node::Alt {
+                left,
+                right,
+                first_left,
+                null_left,
+                first_right,
+                null_right,
+            } = &mut self.nodes[i]
             {
                 let (l, r) = (tys[*left as usize], tys[*right as usize]);
                 *first_left = l.first;
@@ -127,14 +138,22 @@ impl<V: 'static> AspParser<V> {
             // descend until a leaf produces a value
             let v = loop {
                 match &self.nodes[cur as usize] {
-                    Node::Bot => return Err(BaselineError::Parse { pos: stream.error_pos() }),
+                    Node::Bot => {
+                        return Err(BaselineError::Parse {
+                            pos: stream.error_pos(),
+                        })
+                    }
                     Node::Eps(f) => break f(),
                     Node::Tok(t, a) => match stream.peek() {
                         Some(lx) if lx.token == *t => {
                             let lx = stream.advance()?;
                             break a(lx.bytes(input));
                         }
-                        _ => return Err(BaselineError::Parse { pos: stream.error_pos() }),
+                        _ => {
+                            return Err(BaselineError::Parse {
+                                pos: stream.error_pos(),
+                            })
+                        }
                     },
                     Node::Seq(x, y, _) => {
                         frames.push(Frame::SeqLeft(*y, cur));
@@ -153,7 +172,11 @@ impl<V: 'static> AspParser<V> {
                             Some(lx) if first_right.contains(lx.token) => *right,
                             _ if *null_left => *left,
                             _ if *null_right => *right,
-                            _ => return Err(BaselineError::Parse { pos: stream.error_pos() }),
+                            _ => {
+                                return Err(BaselineError::Parse {
+                                    pos: stream.error_pos(),
+                                })
+                            }
                         };
                     }
                     Node::Map(x, _) => {
@@ -210,12 +233,12 @@ impl<V> Builder<V> {
     fn compile(&mut self, g: &Cfe<V>) -> Result<u32, String> {
         Ok(match g.node() {
             CfeNode::Bot => self.push(Node::Bot),
-            CfeNode::Eps(f) => self.push(Node::Eps(Rc::clone(f))),
-            CfeNode::Tok(t, a) => self.push(Node::Tok(*t, Rc::clone(a))),
+            CfeNode::Eps(f) => self.push(Node::Eps(Arc::clone(f))),
+            CfeNode::Tok(t, a) => self.push(Node::Tok(*t, Arc::clone(a))),
             CfeNode::Seq(a, b, f) => {
                 let x = self.compile(a)?;
                 let y = self.compile(b)?;
-                self.push(Node::Seq(x, y, Rc::clone(f)))
+                self.push(Node::Seq(x, y, Arc::clone(f)))
             }
             CfeNode::Alt(a, b) => {
                 let x = self.compile(a)?;
@@ -231,7 +254,7 @@ impl<V> Builder<V> {
             }
             CfeNode::Map(a, f) => {
                 let x = self.compile(a)?;
-                self.push(Node::Map(x, Rc::clone(f)))
+                self.push(Node::Map(x, Arc::clone(f)))
             }
             CfeNode::Fix(v, body) => {
                 // reserve the knot, compile the body, tie it

@@ -2,7 +2,6 @@
 //! baselines: production flattening from the normalized grammar, and
 //! the textbook FIRST/FOLLOW computations.
 
-
 use flap_cfe::{Cfe, TokAction};
 use flap_dgnf::{normalize, Lead, Reduce};
 use flap_lex::{Lexer, Token, TokenSet};
@@ -51,12 +50,23 @@ impl<V: 'static> Bnf<V> {
                     return Err("residual variable in grammar".into());
                 };
                 let mut rhs: Vec<Sym<V>> = Vec::with_capacity(1 + p.tail.len());
-                rhs.push(Sym::T(t, p.tok_action.clone().expect("token production has action")));
+                rhs.push(Sym::T(
+                    t,
+                    p.tok_action.clone().expect("token production has action"),
+                ));
                 rhs.extend(p.tail.iter().map(|m| Sym::N(m.index() as u32)));
-                prods.push(Prod { lhs: nt.index() as u32, rhs, reduce: p.reduce.clone() });
+                prods.push(Prod {
+                    lhs: nt.index() as u32,
+                    rhs,
+                    reduce: p.reduce.clone(),
+                });
             }
             for e in &entry.eps {
-                prods.push(Prod { lhs: nt.index() as u32, rhs: Vec::new(), reduce: e.clone() });
+                prods.push(Prod {
+                    lhs: nt.index() as u32,
+                    rhs: Vec::new(),
+                    reduce: e.clone(),
+                });
             }
         }
         let start = grammar.start().index() as u32;
@@ -193,8 +203,7 @@ mod tests {
         let rpar = b.token("rpar", r"\)").unwrap();
         let lexer = b.build().unwrap();
         let sexp: Cfe<i64> = Cfe::fix(|sexp| {
-            let sexps =
-                Cfe::fix(|sexps| Cfe::eps_with(|| 0).or(sexp.then(sexps, |a, b| a + b)));
+            let sexps = Cfe::fix(|sexps| Cfe::eps_with(|| 0).or(sexp.then(sexps, |a, b| a + b)));
             Cfe::tok_val(lpar, 0)
                 .then(sexps, |_, n| n)
                 .then(Cfe::tok_val(rpar, 0), |n, _| n)
@@ -203,7 +212,12 @@ mod tests {
         let bnf = Bnf::build(&lexer, &sexp).unwrap();
         let grammar = normalize(&sexp).unwrap();
         for nt in grammar.nts() {
-            assert_eq!(bnf.first[nt.index()], grammar.first(nt), "FIRST mismatch at {:?}", nt);
+            assert_eq!(
+                bnf.first[nt.index()],
+                grammar.first(nt),
+                "FIRST mismatch at {:?}",
+                nt
+            );
             assert_eq!(bnf.nullable[nt.index()], grammar.nullable(nt));
         }
         // start symbol: sexp — FIRST {atom, lpar}, not nullable
@@ -223,8 +237,7 @@ mod tests {
         let rpar = b.token("rpar", r"\)").unwrap();
         let lexer = b.build().unwrap();
         let sexp: Cfe<i64> = Cfe::fix(|sexp| {
-            let sexps =
-                Cfe::fix(|sexps| Cfe::eps_with(|| 0).or(sexp.then(sexps, |a, b| a + b)));
+            let sexps = Cfe::fix(|sexps| Cfe::eps_with(|| 0).or(sexp.then(sexps, |a, b| a + b)));
             Cfe::tok_val(lpar, 0)
                 .then(sexps, |_, n| n)
                 .then(Cfe::tok_val(rpar, 0), |n, _| n)
@@ -233,7 +246,10 @@ mod tests {
         let bnf = Bnf::build(&lexer, &sexp).unwrap();
         let grammar = normalize(&sexp).unwrap();
         // find the nullable nonterminal (sexps)
-        let sexps = grammar.nts().find(|&n| grammar.nullable(n)).expect("sexps is nullable");
+        let sexps = grammar
+            .nts()
+            .find(|&n| grammar.nullable(n))
+            .expect("sexps is nullable");
         assert!(bnf.follow[sexps.index()].contains(rpar));
         assert!(!bnf.follow[sexps.index()].contains(atom));
         let _ = atom;

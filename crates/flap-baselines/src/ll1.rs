@@ -71,7 +71,12 @@ impl<V: 'static> Ll1Parser<V> {
                 }
             }
         }
-        Ok(Ll1Parser { lexer: compiled, bnf, table, conflicts })
+        Ok(Ll1Parser {
+            lexer: compiled,
+            bnf,
+            table,
+            conflicts,
+        })
     }
 
     /// Number of table conflicts resolved by committed choice (0 for
@@ -108,15 +113,23 @@ impl<V: 'static> Ll1Parser<V> {
                             let lx = stream.advance()?;
                             values.push(action(lx.bytes(input)));
                         }
-                        _ => return Err(BaselineError::Parse { pos: stream.error_pos() }),
+                        _ => {
+                            return Err(BaselineError::Parse {
+                                pos: stream.error_pos(),
+                            })
+                        }
                     }
                 }
                 M::N(nt) => {
-                    let col =
-                        stream.peek().map(|lx| lx.token.index()).unwrap_or(self.bnf.token_count);
+                    let col = stream
+                        .peek()
+                        .map(|lx| lx.token.index())
+                        .unwrap_or(self.bnf.token_count);
                     let pid = self.table[nt as usize * cols + col];
                     if pid == NO_PROD {
-                        return Err(BaselineError::Parse { pos: stream.error_pos() });
+                        return Err(BaselineError::Parse {
+                            pos: stream.error_pos(),
+                        });
                     }
                     let p = &self.bnf.prods[pid as usize];
                     stack.push(M::R(pid));

@@ -224,7 +224,11 @@ impl<V: 'static> LrParser<V> {
             let state = stack.last().expect("stack never empties").0;
             let col = stream.peek().map(|lx| lx.token.index()).unwrap_or(t_count);
             match self.action[state as usize * cols + col] {
-                Action::Err => return Err(BaselineError::Parse { pos: stream.error_pos() }),
+                Action::Err => {
+                    return Err(BaselineError::Parse {
+                        pos: stream.error_pos(),
+                    })
+                }
                 Action::Accept => {
                     debug_assert_eq!(values.len(), 1);
                     return Ok(values.pop().expect("parse produced no value"));
@@ -252,10 +256,11 @@ impl<V: 'static> LrParser<V> {
                     }
                     p.reduce.run(&mut values);
                     let state = stack.last().expect("stack never empties").0;
-                    let target =
-                        self.goto_nt[state as usize * self.bnf.nt_count + p.lhs as usize];
+                    let target = self.goto_nt[state as usize * self.bnf.nt_count + p.lhs as usize];
                     if target == u32::MAX {
-                        return Err(BaselineError::Parse { pos: stream.error_pos() });
+                        return Err(BaselineError::Parse {
+                            pos: stream.error_pos(),
+                        });
                     }
                     stack.push((target, None));
                 }

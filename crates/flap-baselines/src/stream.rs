@@ -61,7 +61,12 @@ impl<'a, 'b> TokenStream<'a, 'b> {
     ///
     /// Fails if the first token cannot be lexed.
     pub fn new(lexer: &'a CompiledLexer, input: &'b [u8]) -> Result<Self, BaselineError> {
-        let mut s = TokenStream { lexer, input, pos: 0, peeked: None };
+        let mut s = TokenStream {
+            lexer,
+            input,
+            pos: 0,
+            peeked: None,
+        };
         s.fill()?;
         Ok(s)
     }

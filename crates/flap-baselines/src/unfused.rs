@@ -8,7 +8,6 @@
 //! this and flap is the paper's headline claim (Fig 11: fusion buys
 //! another 1.7–7.4× on top of normalization).
 
-
 use flap_cfe::{Cfe, TokAction};
 use flap_dgnf::{normalize, Grammar, Lead, NtId, Reduce};
 use flap_lex::{CompiledLexer, Lexer, Token};
@@ -61,14 +60,25 @@ impl<V: 'static> UnfusedParser<V> {
                 let id = prods.len() as u32;
                 prods.push(IndexedProd {
                     tail: p.tail.clone(),
-                    tok_action: p.tok_action.clone().expect("token-led production has an action"),
+                    tok_action: p
+                        .tok_action
+                        .clone()
+                        .expect("token-led production has an action"),
                     reduce: p.reduce.clone(),
                 });
                 dispatch[t.index()] = Some(id);
             }
-            nts.push(IndexedNt { dispatch, eps: entry.eps.first().cloned() });
+            nts.push(IndexedNt {
+                dispatch,
+                eps: entry.eps.first().cloned(),
+            });
         }
-        Ok(UnfusedParser { lexer: compiled, prods, nts, start: grammar.start() })
+        Ok(UnfusedParser {
+            lexer: compiled,
+            prods,
+            nts,
+            start: grammar.start(),
+        })
     }
 
     /// Parses a complete input, materializing tokens on the way.
@@ -105,7 +115,9 @@ impl<V: 'static> UnfusedParser<V> {
                         None => match &entry.eps {
                             Some(e) => e.run(&mut values),
                             None => {
-                                return Err(BaselineError::Parse { pos: stream.error_pos() });
+                                return Err(BaselineError::Parse {
+                                    pos: stream.error_pos(),
+                                });
                             }
                         },
                     }

@@ -35,8 +35,13 @@ fn check<V: 'static>(def: &GrammarDef<V>) {
         let got_ll1 = ll1.parse(input).map(def.finish).ok();
         let got_lr = lr.parse(input).map(def.finish).ok();
         let head = &input[..input.len().min(60)];
-        assert_eq!(got_flap, expected, "[{}] flap vs reference on {:?}…", def.name,
-            String::from_utf8_lossy(head));
+        assert_eq!(
+            got_flap,
+            expected,
+            "[{}] flap vs reference on {:?}…",
+            def.name,
+            String::from_utf8_lossy(head)
+        );
         assert_eq!(got_unfused, expected, "[{}] unfused vs reference", def.name);
         assert_eq!(got_asp, expected, "[{}] asp vs reference", def.name);
         assert_eq!(got_ll1, expected, "[{}] ll1 vs reference", def.name);

@@ -1,0 +1,51 @@
+//! Multi-threaded throughput of one shared compiled parser — the
+//! concurrency counterpart of Fig 11.
+//!
+//! One immutable `flap::Parser` is shared across 1/2/4/8 scoped
+//! worker threads via `Parser::parse_batch`; each worker reuses a
+//! single `ParseSession`, so the hot path is allocation-free and the
+//! only shared state is the read-only transition tables. Near-linear
+//! scaling (up to physical cores) is the expected result: the tables
+//! are immutable, so workers contend on nothing.
+//!
+//! Run with `cargo bench -p flap-bench --bench parallel`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+const DOCS: usize = 256;
+const DOC_BYTES: usize = 8 * 1024;
+
+fn bench_parallel(c: &mut Criterion) {
+    for def in [flap_grammars::json::def(), flap_grammars::sexp::def()] {
+        let name = def.name;
+        let parser = def.flap_parser();
+        let batch: Vec<Vec<u8>> = (0..DOCS as u64)
+            .map(|seed| (def.generate)(seed, DOC_BYTES))
+            .collect();
+        let total: u64 = batch.iter().map(|d| d.len() as u64).sum();
+        // every document must parse — a throughput number for a
+        // rejecting parser would be meaningless
+        for (i, doc) in batch.iter().enumerate() {
+            assert!(parser.parse(doc).is_ok(), "{name} doc {i} must parse");
+        }
+
+        let mut group = c.benchmark_group(format!("parallel/{name}"));
+        group.throughput(Throughput::Bytes(total));
+        group.sample_size(10);
+        group.measurement_time(std::time::Duration::from_secs(2));
+        group.warm_up_time(std::time::Duration::from_millis(500));
+        for threads in [1usize, 2, 4, 8] {
+            group.bench_function(BenchmarkId::new("threads", threads), |b| {
+                b.iter(|| {
+                    let results = parser.parse_batch(black_box(&batch), threads);
+                    assert!(results.iter().all(|r| r.is_ok()));
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

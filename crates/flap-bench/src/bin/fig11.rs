@@ -12,7 +12,10 @@
 use flap_bench::{all_cases, throughput_mbps};
 
 fn main() {
-    let target_mb: f64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(2.0);
+    let target_mb: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(2.0);
     let target = (target_mb * 1e6) as usize;
     let iters = 7;
 
@@ -79,7 +82,11 @@ fn main() {
     println!();
     // the paper's headline ratios
     let flap_row = &rows[0].1;
-    let norm_row = &rows.iter().find(|(n, _)| n == "normalized").expect("normalized row").1;
+    let norm_row = &rows
+        .iter()
+        .find(|(n, _)| n == "normalized")
+        .expect("normalized row")
+        .1;
     let asp_row = &rows.iter().find(|(n, _)| n == "asp").expect("asp row").1;
     print!("{:<14}", "flap/norm");
     for (f, n) in flap_row.iter().zip(norm_row.iter()) {

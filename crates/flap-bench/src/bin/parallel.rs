@@ -1,0 +1,94 @@
+//! Multi-thread scaling of one shared compiled parser: the
+//! throughput driver for the `Send + Sync` engine.
+//!
+//! Usage: `cargo run -p flap-bench --release --bin parallel
+//! [docs] [doc_kb]` (default 256 documents of ≈8 KiB).
+//!
+//! One immutable `flap::Parser` per grammar (JSON and s-expressions)
+//! is shared by reference across scoped worker threads via
+//! `Parser::parse_batch`; each worker reuses one `ParseSession`. The
+//! table reports MB/s at 1/2/4/8 threads and the speedup over the
+//! single-thread baseline. Because the compiled tables are immutable
+//! and sessions are thread-local, scaling should track physical
+//! cores; a flat line here means the ownership refactor regressed.
+
+use std::time::Instant;
+
+use flap_grammars::GrammarDef;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+const ITERS: usize = 5;
+
+fn bench_one(def: &GrammarDef<i64>, docs: usize, doc_bytes: usize) {
+    let parser = def.flap_parser();
+    let batch: Vec<Vec<u8>> = (0..docs as u64)
+        .map(|seed| (def.generate)(seed, doc_bytes))
+        .collect();
+    let total_bytes: usize = batch.iter().map(Vec::len).sum();
+
+    // correctness first: every worker result must agree with the oracle
+    let expected: Vec<i64> = batch
+        .iter()
+        .map(|d| (def.reference)(d).expect("generated input is valid"))
+        .collect();
+
+    print!(
+        "{:<8}{:>10}",
+        def.name,
+        format!("{} KB", total_bytes / 1024)
+    );
+    let mut base = 0.0f64;
+    for &threads in &THREADS {
+        let mut best = f64::INFINITY;
+        for _ in 0..ITERS {
+            let t0 = Instant::now();
+            let results = parser.parse_batch(&batch, threads);
+            let dt = t0.elapsed().as_secs_f64();
+            for (r, e) in results.iter().zip(&expected) {
+                assert_eq!(
+                    r.as_ref().ok(),
+                    Some(e),
+                    "worker result disagrees with oracle"
+                );
+            }
+            best = best.min(dt);
+        }
+        let mbps = total_bytes as f64 / best / 1e6;
+        if threads == 1 {
+            base = mbps;
+        }
+        print!("{:>9.1} ({:>4.2}x)", mbps, mbps / base);
+    }
+    println!();
+}
+
+fn main() {
+    let docs: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(256);
+    let doc_kb: usize = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(8);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    println!(
+        "Parallel throughput: {docs} docs x {doc_kb} KiB, best of {ITERS} runs, \
+         {cores} cores available"
+    );
+    println!();
+    print!("{:<8}{:>10}", "grammar", "batch");
+    for t in THREADS {
+        print!("{:>17}", format!("{t} thread(s)"));
+    }
+    println!();
+    bench_one(&flap_grammars::json::def(), docs, doc_kb * 1024);
+    bench_one(&flap_grammars::sexp::def(), docs, doc_kb * 1024);
+    println!();
+    println!(
+        "MB/s (speedup vs 1 thread). Parser shared by reference; one ParseSession per worker."
+    );
+}

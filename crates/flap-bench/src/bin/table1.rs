@@ -24,7 +24,17 @@ const PAPER: [(&str, [usize; 6]); 6] = [
 fn row<V: 'static>(def: flap_grammars::GrammarDef<V>) -> (String, [usize; 6]) {
     let p = Parser::compile((def.lexer)(), &(def.cfe)()).expect("compiles");
     let s = p.sizes();
-    (def.name.to_string(), [s.lex_rules, s.cfes, s.nts, s.prods, s.fused_prods, s.functions])
+    (
+        def.name.to_string(),
+        [
+            s.lex_rules,
+            s.cfes,
+            s.nts,
+            s.prods,
+            s.fused_prods,
+            s.functions,
+        ],
+    )
 }
 
 fn main() {

@@ -24,12 +24,15 @@ use std::time::{Duration, Instant};
 use flap_baselines::{AspParser, Ll1Parser, LrParser, UnfusedParser};
 use flap_grammars::GrammarDef;
 
+/// A boxed parse function: complete input in, reported value out.
+pub type RunFn = Box<dyn Fn(&[u8]) -> Result<i64, String>>;
+
 /// One named implementation of one grammar.
 pub struct Impl {
     /// Display name (see crate docs).
     pub name: &'static str,
     /// Parses a complete input to the benchmark's reported value.
-    pub run: Box<dyn Fn(&[u8]) -> Result<i64, String>>,
+    pub run: RunFn,
 }
 
 /// One grammar with all its implementations.
@@ -53,9 +56,7 @@ pub fn case<V: 'static>(def: GrammarDef<V>) -> BenchCase {
     let parser = def.flap_parser();
     impls.push(Impl {
         name: "flap",
-        run: Box::new(move |input| {
-            parser.parse(input).map(finish).map_err(|e| e.to_string())
-        }),
+        run: Box::new(move |input| parser.parse(input).map(finish).map_err(|e| e.to_string())),
     });
 
     // fused but unstaged: the Fig 9 interpreter (derivatives at parse
@@ -113,7 +114,12 @@ pub fn case<V: 'static>(def: GrammarDef<V>) -> BenchCase {
         });
     }
 
-    BenchCase { name: def.name, impls, generate: def.generate, reference: def.reference }
+    BenchCase {
+        name: def.name,
+        impls,
+        generate: def.generate,
+        reference: def.reference,
+    }
 }
 
 /// All six grammars, in the paper's Fig 11 order.
@@ -129,8 +135,14 @@ pub fn all_cases() -> Vec<BenchCase> {
 }
 
 /// The implementation names, in display order.
-pub const IMPL_NAMES: [&str; 6] =
-    ["flap", "flap-unstaged", "normalized", "asp", "ll1-table", "slr"];
+pub const IMPL_NAMES: [&str; 6] = [
+    "flap",
+    "flap-unstaged",
+    "normalized",
+    "asp",
+    "ll1-table",
+    "slr",
+];
 
 /// Measures the throughput of `run` on `input`: median MB/s over
 /// `iters` timed runs after one warm-up run.
@@ -260,12 +272,27 @@ mod generated_tests {
     fn generated_recognizers_agree_with_the_vm() {
         let d = flap_grammars::sexp::def();
         let p = d.flap_parser();
-        check("sexp", super::generated::sexp_gen::recognize, move |i| p.recognize(i).is_ok(), d.generate);
+        check(
+            "sexp",
+            super::generated::sexp_gen::recognize,
+            move |i| p.recognize(i).is_ok(),
+            d.generate,
+        );
         let d = flap_grammars::json::def();
         let p = d.flap_parser();
-        check("json", super::generated::json_gen::recognize, move |i| p.recognize(i).is_ok(), d.generate);
+        check(
+            "json",
+            super::generated::json_gen::recognize,
+            move |i| p.recognize(i).is_ok(),
+            d.generate,
+        );
         let d = flap_grammars::csv::def();
         let p = d.flap_parser();
-        check("csv", super::generated::csv_gen::recognize, move |i| p.recognize(i).is_ok(), d.generate);
+        check(
+            "csv",
+            super::generated::csv_gen::recognize,
+            move |i| p.recognize(i).is_ok(),
+            d.generate,
+        );
     }
 }

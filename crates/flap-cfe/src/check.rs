@@ -53,7 +53,10 @@ pub enum TypeError {
 impl fmt::Display for TypeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TypeError::NotSeparable { overlap, left_nullable } => {
+            TypeError::NotSeparable {
+                overlap,
+                left_nullable,
+            } => {
                 if *left_nullable {
                     write!(f, "sequence not separable: left operand is nullable")
                 } else {
@@ -64,11 +67,18 @@ impl fmt::Display for TypeError {
                     )
                 }
             }
-            TypeError::NotApart { overlap, both_nullable } => {
+            TypeError::NotApart {
+                overlap,
+                both_nullable,
+            } => {
                 if *both_nullable && overlap.is_empty() {
                     write!(f, "alternatives not apart: both branches are nullable")
                 } else {
-                    write!(f, "alternatives not apart: First sets overlap on tokens {:?}", overlap)
+                    write!(
+                        f,
+                        "alternatives not apart: First sets overlap on tokens {:?}",
+                        overlap
+                    )
                 }
             }
             TypeError::LeftRecursion { var } => {
@@ -135,8 +145,10 @@ fn check<V>(g: &Cfe<V>, env: &mut HashMap<VarId, Binding>) -> Result<Ty, TypeErr
             let t1 = check(g1, env)?;
             // Γ, Δ; • — every variable becomes usable on the right of
             // a separable sequence.
-            let mut guarded_env: HashMap<VarId, Binding> =
-                env.iter().map(|(&v, &b)| (v, Binding { guarded: true, ..b })).collect();
+            let mut guarded_env: HashMap<VarId, Binding> = env
+                .iter()
+                .map(|(&v, &b)| (v, Binding { guarded: true, ..b }))
+                .collect();
             let t2 = check(g2, &mut guarded_env)?;
             if !t1.separable(&t2) {
                 return Err(TypeError::NotSeparable {
@@ -212,7 +224,10 @@ mod tests {
         let g = Cfe::eps(0).then(tok(0), |a, b| a + b);
         assert!(matches!(
             type_check(&g),
-            Err(TypeError::NotSeparable { left_nullable: true, .. })
+            Err(TypeError::NotSeparable {
+                left_nullable: true,
+                ..
+            })
         ));
     }
 
@@ -224,7 +239,10 @@ mod tests {
         let g = head.then(tok(1), |a, b| a + b);
         let err = type_check(&g).unwrap_err();
         match err {
-            TypeError::NotSeparable { overlap, left_nullable } => {
+            TypeError::NotSeparable {
+                overlap,
+                left_nullable,
+            } => {
                 assert!(!left_nullable);
                 assert!(overlap.contains(t(1)));
             }
@@ -242,7 +260,10 @@ mod tests {
     fn rejects_doubly_nullable_alternatives() {
         let g: Cfe<i64> = Cfe::eps(0).or(Cfe::eps(1));
         match type_check(&g).unwrap_err() {
-            TypeError::NotApart { both_nullable, overlap } => {
+            TypeError::NotApart {
+                both_nullable,
+                overlap,
+            } => {
                 assert!(both_nullable);
                 assert!(overlap.is_empty());
             }
@@ -263,7 +284,10 @@ mod tests {
     fn rejects_left_recursion() {
         // μx. x·a ∨ b
         let g = Cfe::fix(|x| x.then(tok(0), |a, b| a + b).or(tok(1)));
-        assert!(matches!(type_check(&g), Err(TypeError::LeftRecursion { .. })));
+        assert!(matches!(
+            type_check(&g),
+            Err(TypeError::LeftRecursion { .. })
+        ));
     }
 
     #[test]
@@ -284,7 +308,10 @@ mod tests {
         let ty = type_check(&g).unwrap();
         assert!(ty.null);
         assert!(ty.first.contains(t(0)));
-        assert!(ty.flast.contains(t(0)), "star's FLast includes its own First");
+        assert!(
+            ty.flast.contains(t(0)),
+            "star's FLast includes its own First"
+        );
     }
 
     #[test]
@@ -299,9 +326,7 @@ mod tests {
         // Fig 3c: μ sexp. (lpar·(μ sexps. ε ∨ sexp·sexps)·rpar) ∨ atom
         let (atom, lpar, rpar) = (t(0), t(1), t(2));
         let sexp: Cfe<i64> = Cfe::fix(|sexp| {
-            let sexps = Cfe::fix(|sexps| {
-                Cfe::eps_with(|| 0).or(sexp.then(sexps, |a, b| a + b))
-            });
+            let sexps = Cfe::fix(|sexps| Cfe::eps_with(|| 0).or(sexp.then(sexps, |a, b| a + b)));
             Cfe::tok_val(lpar, 0)
                 .then(sexps, |_, n| n)
                 .then(Cfe::tok_val(rpar, 0), |n, _| n)
@@ -318,10 +343,11 @@ mod tests {
         // sexps uses the *outer* μ-variable sexp guarded by lpar — the
         // Γ/Δ subtlety the paper highlights.
         let g: Cfe<i64> = Cfe::fix(|outer| {
-            let inner = Cfe::fix(|inner| {
-                Cfe::eps(0).or(outer.then(inner, |a, b| a + b))
-            });
-            tok(1).then(inner, |a, b| a + b).then(tok(2), |a, b| a + b).or(tok(0))
+            let inner = Cfe::fix(|inner| Cfe::eps(0).or(outer.then(inner, |a, b| a + b)));
+            tok(1)
+                .then(inner, |a, b| a + b)
+                .then(tok(2), |a, b| a + b)
+                .or(tok(0))
         });
         assert!(type_check(&g).is_ok());
     }
@@ -330,14 +356,22 @@ mod tests {
     fn unguarded_use_under_fix_directly() {
         // μx. x — immediately left-recursive
         let g: Cfe<i64> = Cfe::fix(|x| x);
-        assert!(matches!(type_check(&g), Err(TypeError::LeftRecursion { .. })));
+        assert!(matches!(
+            type_check(&g),
+            Err(TypeError::LeftRecursion { .. })
+        ));
     }
 
     #[test]
     fn error_messages_render() {
-        let e = TypeError::NotSeparable { overlap: TokenSet::EMPTY, left_nullable: true };
+        let e = TypeError::NotSeparable {
+            overlap: TokenSet::EMPTY,
+            left_nullable: true,
+        };
         assert!(e.to_string().contains("nullable"));
-        let e2 = TypeError::LeftRecursion { var: VarId::fresh() };
+        let e2 = TypeError::LeftRecursion {
+            var: VarId::fresh(),
+        };
         assert!(e2.to_string().contains("left-recursive"));
     }
 

@@ -25,6 +25,7 @@
 use std::fmt;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
 
 use flap_lex::Token;
 
@@ -56,14 +57,19 @@ impl fmt::Debug for VarId {
 
 /// Semantic action attached to `ε`: produce the value of an empty
 /// parse.
-pub type EpsAction<V> = Rc<dyn Fn() -> V>;
+///
+/// Actions are `Arc<dyn Fn … + Send + Sync>` (not `Rc`) so that every
+/// downstream artifact built from an expression — the DGNF grammar,
+/// the fused grammar, and above all the compiled parser — is an
+/// immutable `Send + Sync` value that can be shared across threads.
+pub type EpsAction<V> = Arc<dyn Fn() -> V + Send + Sync>;
 /// Semantic action attached to a token: build a value from the lexeme
 /// bytes.
-pub type TokAction<V> = Rc<dyn Fn(&[u8]) -> V>;
+pub type TokAction<V> = Arc<dyn Fn(&[u8]) -> V + Send + Sync>;
 /// Semantic action attached to sequencing: combine the two sub-values.
-pub type SeqAction<V> = Rc<dyn Fn(V, V) -> V>;
+pub type SeqAction<V> = Arc<dyn Fn(V, V) -> V + Send + Sync>;
 /// Semantic action attached to `map`.
-pub type MapAction<V> = Rc<dyn Fn(V) -> V>;
+pub type MapAction<V> = Arc<dyn Fn(V) -> V + Send + Sync>;
 
 /// The structure of a context-free expression.
 ///
@@ -151,21 +157,25 @@ impl<V> Cfe<V> {
     }
 
     /// `ε` with an explicitly computed value.
-    pub fn eps_with(f: impl Fn() -> V + 'static) -> Self {
-        Cfe::new(CfeNode::Eps(Rc::new(f)))
+    ///
+    /// Actions must be `Send + Sync` (shared-state captures go behind
+    /// `Arc<Mutex<…>>` or atomics) so compiled parsers can be shared
+    /// across threads.
+    pub fn eps_with(f: impl Fn() -> V + Send + Sync + 'static) -> Self {
+        Cfe::new(CfeNode::Eps(Arc::new(f)))
     }
 
     /// A token whose value is computed from its lexeme bytes.
-    pub fn tok_with(t: Token, f: impl Fn(&[u8]) -> V + 'static) -> Self {
-        Cfe::new(CfeNode::Tok(t, Rc::new(f)))
+    pub fn tok_with(t: Token, f: impl Fn(&[u8]) -> V + Send + Sync + 'static) -> Self {
+        Cfe::new(CfeNode::Tok(t, Arc::new(f)))
     }
 
     /// Sequencing: `self` then `next`, combining the two values.
     ///
     /// Requires (checked by [`type_check`](crate::type_check)) that
     /// `self` is not nullable and `self.FLast ∩ next.First = ∅`.
-    pub fn then(self, next: Cfe<V>, combine: impl Fn(V, V) -> V + 'static) -> Self {
-        Cfe::new(CfeNode::Seq(self, next, Rc::new(combine)))
+    pub fn then(self, next: Cfe<V>, combine: impl Fn(V, V) -> V + Send + Sync + 'static) -> Self {
+        Cfe::new(CfeNode::Seq(self, next, Arc::new(combine)))
     }
 
     /// Alternation.
@@ -178,8 +188,8 @@ impl<V> Cfe<V> {
     }
 
     /// Applies `f` to the semantic value; the language is unchanged.
-    pub fn map(self, f: impl Fn(V) -> V + 'static) -> Self {
-        Cfe::new(CfeNode::Map(self, Rc::new(f)))
+    pub fn map(self, f: impl Fn(V) -> V + Send + Sync + 'static) -> Self {
+        Cfe::new(CfeNode::Map(self, Arc::new(f)))
     }
 
     /// The least fixed point `μα.g`: `f` receives the bound variable
@@ -203,10 +213,14 @@ impl<V> Cfe<V> {
 
     /// Zero or more repetitions: `μα. ε ∨ g·α`, right-folding values
     /// with `fold` starting from `empty`.
-    pub fn star(g: Cfe<V>, empty: impl Fn() -> V + 'static, fold: impl Fn(V, V) -> V + 'static) -> Self {
+    pub fn star(
+        g: Cfe<V>,
+        empty: impl Fn() -> V + Send + Sync + 'static,
+        fold: impl Fn(V, V) -> V + Send + Sync + 'static,
+    ) -> Self {
         Cfe::fix(move |alpha| {
             let rec = g.clone().then(alpha, fold);
-            Cfe::new(CfeNode::Alt(Cfe::new(CfeNode::Eps(Rc::new(empty))), rec))
+            Cfe::new(CfeNode::Alt(Cfe::new(CfeNode::Eps(Arc::new(empty))), rec))
         })
     }
 
@@ -215,17 +229,17 @@ impl<V> Cfe<V> {
     /// right-folded with `fold`, terminated by `empty`.
     pub fn plus(
         g: Cfe<V>,
-        empty: impl Fn() -> V + 'static,
-        fold: impl Fn(V, V) -> V + 'static,
+        empty: impl Fn() -> V + Send + Sync + 'static,
+        fold: impl Fn(V, V) -> V + Send + Sync + 'static,
     ) -> Self {
-        let fold = Rc::new(fold);
-        let f1 = Rc::clone(&fold);
+        let fold = Arc::new(fold);
+        let f1 = Arc::clone(&fold);
         let rest = Cfe::star(g.clone(), empty, move |a, b| f1(a, b));
         g.then(rest, move |a, b| fold(a, b))
     }
 
     /// Zero or one occurrence: `g ∨ ε`.
-    pub fn opt(g: Cfe<V>, none: impl Fn() -> V + 'static) -> Self {
+    pub fn opt(g: Cfe<V>, none: impl Fn() -> V + Send + Sync + 'static) -> Self {
         g.or(Cfe::eps_with(none))
     }
 
@@ -237,20 +251,20 @@ impl<V> Cfe<V> {
     pub fn sep_by1(
         item: Cfe<V>,
         sep: Cfe<V>,
-        empty: impl Fn() -> V + 'static,
-        fold: impl Fn(V, V) -> V + 'static,
+        empty: impl Fn() -> V + Send + Sync + 'static,
+        fold: impl Fn(V, V) -> V + Send + Sync + 'static,
     ) -> Self {
-        let fold = Rc::new(fold);
+        let fold = Arc::new(fold);
         Cfe::fix(move |alpha| {
             let tail = sep.clone().then(alpha, |_, v| v);
             let rest = Cfe::eps_with(empty).or(tail);
-            let f = Rc::clone(&fold);
+            let f = Arc::clone(&fold);
             item.clone().then(rest, move |a, b| f(a, b))
         })
     }
 }
 
-impl<V: Clone + 'static> Cfe<V> {
+impl<V: Clone + Send + Sync + 'static> Cfe<V> {
     /// `ε` yielding a constant.
     pub fn eps(v: V) -> Self {
         Cfe::eps_with(move || v.clone())
@@ -314,8 +328,11 @@ mod tests {
         assert_eq!(node_count(&a), 1);
         let twice = a.clone().then(a.clone(), |x, y| x + y);
         assert_eq!(node_count(&twice), 3, "shared node counted per occurrence");
-        let fixed: Cfe<i64> =
-            Cfe::fix(|x| Cfe::tok_val(t(0), 1).then(x, |a, b| a + b).or(Cfe::tok_val(t(1), 0)));
+        let fixed: Cfe<i64> = Cfe::fix(|x| {
+            Cfe::tok_val(t(0), 1)
+                .then(x, |a, b| a + b)
+                .or(Cfe::tok_val(t(1), 0))
+        });
         // Fix + Alt + Seq + Tok + Var + Tok = 6 nodes
         assert_eq!(node_count(&fixed), 6);
     }

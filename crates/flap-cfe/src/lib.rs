@@ -48,8 +48,6 @@ mod naive;
 mod ty;
 
 pub use check::{type_check, TypeError};
-pub use expr::{
-    node_count, Cfe, CfeNode, EpsAction, MapAction, SeqAction, TokAction, VarId,
-};
+pub use expr::{node_count, Cfe, CfeNode, EpsAction, MapAction, SeqAction, TokAction, VarId};
 pub use naive::naive_matches;
 pub use ty::Ty;

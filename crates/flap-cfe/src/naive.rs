@@ -22,7 +22,11 @@ use crate::expr::{Cfe, CfeNode, VarId};
 /// expressions the result for cyclic derivations is the least fixed
 /// point (absence).
 pub fn naive_matches<V>(g: &Cfe<V>, w: &[Token]) -> bool {
-    let mut search = Search { env: HashMap::new(), memo: HashMap::new(), w };
+    let mut search = Search {
+        env: HashMap::new(),
+        memo: HashMap::new(),
+        w,
+    };
     search.matches(g, 0, w.len())
 }
 
@@ -117,8 +121,7 @@ mod tests {
     fn sexp_language() {
         let (atom, lpar, rpar) = (t(0), t(1), t(2));
         let sexp: Cfe<i64> = Cfe::fix(|sexp| {
-            let sexps =
-                Cfe::fix(|sexps| Cfe::eps_with(|| 0).or(sexp.then(sexps, |a, b| a + b)));
+            let sexps = Cfe::fix(|sexps| Cfe::eps_with(|| 0).or(sexp.then(sexps, |a, b| a + b)));
             Cfe::tok_val(lpar, 0)
                 .then(sexps, |_, n| n)
                 .then(Cfe::tok_val(rpar, 0), |n, _| n)
@@ -127,7 +130,7 @@ mod tests {
         assert!(naive_matches(&sexp, &[atom]));
         assert!(naive_matches(&sexp, &[lpar, rpar]));
         assert!(naive_matches(&sexp, &[lpar, atom, atom, rpar]));
-        assert!(naive_matches(&sexp, &[lpar, lpar, rpar], ) == false);
+        assert!(!naive_matches(&sexp, &[lpar, lpar, rpar]));
         assert!(naive_matches(&sexp, &[lpar, lpar, rpar, rpar]));
         assert!(!naive_matches(&sexp, &[rpar]));
         assert!(!naive_matches(&sexp, &[atom, atom]));

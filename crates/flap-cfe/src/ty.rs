@@ -32,12 +32,20 @@ pub struct Ty {
 impl Ty {
     /// `τ_ε = {Null = true; First = ∅; FLast = ∅}`.
     pub fn eps() -> Ty {
-        Ty { null: true, first: TokenSet::EMPTY, flast: TokenSet::EMPTY }
+        Ty {
+            null: true,
+            first: TokenSet::EMPTY,
+            flast: TokenSet::EMPTY,
+        }
     }
 
     /// `τ_t = {Null = false; First = {t}; FLast = ∅}`.
     pub fn tok(t: Token) -> Ty {
-        Ty { null: false, first: TokenSet::single(t), flast: TokenSet::EMPTY }
+        Ty {
+            null: false,
+            first: TokenSet::single(t),
+            flast: TokenSet::EMPTY,
+        }
     }
 
     /// `τ_⊥ = {Null = false; First = ∅; FLast = ∅}`.
@@ -45,7 +53,11 @@ impl Ty {
     /// Also the bottom of the type lattice, used to start the
     /// fixed-point iteration for `μ`.
     pub fn bot() -> Ty {
-        Ty { null: false, first: TokenSet::EMPTY, flast: TokenSet::EMPTY }
+        Ty {
+            null: false,
+            first: TokenSet::EMPTY,
+            flast: TokenSet::EMPTY,
+        }
     }
 
     /// `τ₁ · τ₂` (sequencing).
@@ -53,10 +65,9 @@ impl Ty {
         Ty {
             null: self.null && other.null,
             first: self.first.union(&cond(self.null, other.first)),
-            flast: other.flast.union(&cond(
-                other.null,
-                other.first.union(&self.flast),
-            )),
+            flast: other
+                .flast
+                .union(&cond(other.null, other.first.union(&self.flast))),
         }
     }
 

@@ -71,8 +71,11 @@ mod tests {
     #[test]
     fn enumerates_anb() {
         // μx. a·x ∨ b — words aⁿb
-        let g: Cfe<i64> =
-            Cfe::fix(|x| Cfe::tok_val(t(0), 0).then(x, |a, b| a + b).or(Cfe::tok_val(t(1), 0)));
+        let g: Cfe<i64> = Cfe::fix(|x| {
+            Cfe::tok_val(t(0), 0)
+                .then(x, |a, b| a + b)
+                .or(Cfe::tok_val(t(1), 0))
+        });
         let gram = normalize(&g).unwrap();
         let words = expand_words(&gram, 4);
         let expect: BTreeSet<Vec<Token>> = [
@@ -91,8 +94,7 @@ mod tests {
         // Theorem 3.8 on the running example, exhaustively to length 6.
         let (atom, lpar, rpar) = (t(0), t(1), t(2));
         let sexp: Cfe<i64> = Cfe::fix(|sexp| {
-            let sexps =
-                Cfe::fix(|sexps| Cfe::eps_with(|| 0).or(sexp.then(sexps, |a, b| a + b)));
+            let sexps = Cfe::fix(|sexps| Cfe::eps_with(|| 0).or(sexp.then(sexps, |a, b| a + b)));
             Cfe::tok_val(lpar, 0)
                 .then(sexps, |_, n| n)
                 .then(Cfe::tok_val(rpar, 0), |n, _| n)
@@ -131,8 +133,7 @@ mod tests {
     fn expands_to_specific_words() {
         let (atom, lpar, rpar) = (t(0), t(1), t(2));
         let sexp: Cfe<i64> = Cfe::fix(|sexp| {
-            let sexps =
-                Cfe::fix(|sexps| Cfe::eps_with(|| 0).or(sexp.then(sexps, |a, b| a + b)));
+            let sexps = Cfe::fix(|sexps| Cfe::eps_with(|| 0).or(sexp.then(sexps, |a, b| a + b)));
             Cfe::tok_val(lpar, 0)
                 .then(sexps, |_, n| n)
                 .then(Cfe::tok_val(rpar, 0), |n, _| n)

@@ -26,7 +26,7 @@
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use flap_cfe::{TokAction, VarId};
 use flap_lex::{Lexer, Token, TokenSet};
@@ -87,12 +87,15 @@ pub enum ReduceOp<V> {
 impl<V> Clone for ReduceOp<V> {
     fn clone(&self) -> Self {
         match self {
-            ReduceOp::User(f) => ReduceOp::User(Rc::clone(f)),
-            ReduceOp::Map(f) => ReduceOp::Map(Rc::clone(f)),
-            ReduceOp::PushEps(f) => ReduceOp::PushEps(Rc::clone(f)),
+            ReduceOp::User(f) => ReduceOp::User(Arc::clone(f)),
+            ReduceOp::Map(f) => ReduceOp::Map(Arc::clone(f)),
+            ReduceOp::PushEps(f) => ReduceOp::PushEps(Arc::clone(f)),
             ReduceOp::Swap => ReduceOp::Swap,
             ReduceOp::RotR { span } => ReduceOp::RotR { span: *span },
-            ReduceOp::RotL { span, by } => ReduceOp::RotL { span: *span, by: *by },
+            ReduceOp::RotL { span, by } => ReduceOp::RotL {
+                span: *span,
+                by: *by,
+            },
         }
     }
 }
@@ -121,14 +124,17 @@ impl<V> fmt::Debug for ReduceOp<V> {
 /// non-nested operations — the semantic-action counterpart of the
 /// paper's "no indirect calls" generated-code property (§2.8).
 pub struct Reduce<V> {
-    ops: Rc<[ReduceOp<V>]>,
+    ops: Arc<[ReduceOp<V>]>,
     /// Number of argument values the program consumes.
     arity: u16,
 }
 
 impl<V> Clone for Reduce<V> {
     fn clone(&self) -> Self {
-        Reduce { ops: Rc::clone(&self.ops), arity: self.arity }
+        Reduce {
+            ops: Arc::clone(&self.ops),
+            arity: self.arity,
+        }
     }
 }
 
@@ -142,16 +148,25 @@ impl<V> Reduce<V> {
     /// The identity reduction for single-argument productions
     /// (`n → t`, `n → α`): the lone argument already is the result.
     pub fn identity() -> Reduce<V> {
-        Reduce { ops: Rc::from(Vec::new()), arity: 1 }
+        Reduce {
+            ops: Arc::from(Vec::new()),
+            arity: 1,
+        }
     }
 
     /// The ε reduction: push `f()`.
     pub fn eps(f: flap_cfe::EpsAction<V>) -> Reduce<V> {
-        Reduce { ops: Rc::from(vec![ReduceOp::PushEps(f)]), arity: 0 }
+        Reduce {
+            ops: Arc::from(vec![ReduceOp::PushEps(f)]),
+            arity: 0,
+        }
     }
 
     pub(crate) fn from_ops(ops: Vec<ReduceOp<V>>, arity: u16) -> Reduce<V> {
-        Reduce { ops: Rc::from(ops), arity }
+        Reduce {
+            ops: Arc::from(ops),
+            arity,
+        }
     }
 
     /// Number of argument values consumed.
@@ -261,13 +276,19 @@ pub struct NtEntry<V> {
 
 impl<V> Default for NtEntry<V> {
     fn default() -> Self {
-        NtEntry { prods: Vec::new(), eps: Vec::new() }
+        NtEntry {
+            prods: Vec::new(),
+            eps: Vec::new(),
+        }
     }
 }
 
 impl<V> Clone for NtEntry<V> {
     fn clone(&self) -> Self {
-        NtEntry { prods: self.prods.clone(), eps: self.eps.clone() }
+        NtEntry {
+            prods: self.prods.clone(),
+            eps: self.eps.clone(),
+        }
     }
 }
 
@@ -280,7 +301,10 @@ pub struct Grammar<V> {
 
 impl<V> Clone for Grammar<V> {
     fn clone(&self) -> Self {
-        Grammar { start: self.start, entries: self.entries.clone() }
+        Grammar {
+            start: self.start,
+            entries: self.entries.clone(),
+        }
     }
 }
 
@@ -326,10 +350,18 @@ impl fmt::Display for DgnfError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DgnfError::ResidualVariable { nt, var } => {
-                write!(f, "production of {:?} still leads with variable {:?}", nt, var)
+                write!(
+                    f,
+                    "production of {:?} still leads with variable {:?}",
+                    nt, var
+                )
             }
             DgnfError::DuplicateHead { nt, token } => {
-                write!(f, "nonterminal {:?} has two productions starting with {:?}", nt, token)
+                write!(
+                    f,
+                    "nonterminal {:?} has two productions starting with {:?}",
+                    nt, token
+                )
             }
             DgnfError::DuplicateEps { nt } => {
                 write!(f, "nonterminal {:?} has more than one ε-production", nt)
@@ -349,7 +381,10 @@ impl<V> Grammar<V> {
     /// Creates an empty grammar whose start symbol has no productions
     /// (the normalization of `⊥`).
     pub fn empty() -> Grammar<V> {
-        Grammar { start: NtId(0), entries: vec![NtEntry::default()] }
+        Grammar {
+            start: NtId(0),
+            entries: vec![NtEntry::default()],
+        }
     }
 
     /// The start nonterminal.
@@ -365,7 +400,10 @@ impl<V> Grammar<V> {
     /// Number of productions (including ε-productions) — the "Prods"
     /// column of Table 1.
     pub fn prod_count(&self) -> usize {
-        self.entries.iter().map(|e| e.prods.len() + e.eps.len()).sum()
+        self.entries
+            .iter()
+            .map(|e| e.prods.len() + e.eps.len())
+            .sum()
     }
 
     /// The productions of `nt`.
@@ -441,8 +479,8 @@ impl<V> Grammar<V> {
         let mut adjacent: HashSet<(NtId, NtId)> = HashSet::new();
         let mut work: Vec<(NtId, NtId)> = Vec::new();
         let add = |pair: (NtId, NtId),
-                       adjacent: &mut HashSet<(NtId, NtId)>,
-                       work: &mut Vec<(NtId, NtId)>| {
+                   adjacent: &mut HashSet<(NtId, NtId)>,
+                   work: &mut Vec<(NtId, NtId)>| {
             if adjacent.insert(pair) {
                 work.push(pair);
             }
@@ -477,7 +515,10 @@ impl<V> Grammar<V> {
     /// Renders the grammar in the BNF style of Fig 3d, using `lexer`
     /// for token names.
     pub fn display<'a>(&'a self, lexer: &'a Lexer) -> DisplayGrammar<'a, V> {
-        DisplayGrammar { grammar: self, lexer }
+        DisplayGrammar {
+            grammar: self,
+            lexer,
+        }
     }
 }
 
@@ -526,7 +567,9 @@ pub(crate) struct GrammarBuilder<V> {
 
 impl<V> GrammarBuilder<V> {
     pub fn new() -> Self {
-        GrammarBuilder { entries: Vec::new() }
+        GrammarBuilder {
+            entries: Vec::new(),
+        }
     }
 
     pub fn fresh_nt(&mut self) -> NtId {
@@ -544,7 +587,10 @@ impl<V> GrammarBuilder<V> {
     }
 
     pub fn finish(self, start: NtId) -> Grammar<V> {
-        Grammar { start, entries: self.entries }
+        Grammar {
+            start,
+            entries: self.entries,
+        }
     }
 }
 
@@ -567,8 +613,11 @@ pub fn trim<V>(g: &Grammar<V>) -> Grammar<V> {
         }
     }
     reachable.sort_unstable();
-    let remap: HashMap<NtId, NtId> =
-        reachable.iter().enumerate().map(|(i, &old)| (old, NtId(i as u32))).collect();
+    let remap: HashMap<NtId, NtId> = reachable
+        .iter()
+        .enumerate()
+        .map(|(i, &old)| (old, NtId(i as u32)))
+        .collect();
     let mut entries: Vec<NtEntry<V>> = Vec::with_capacity(reachable.len());
     for &old in &reachable {
         let e = g.entry(old);
@@ -586,7 +635,10 @@ pub fn trim<V>(g: &Grammar<V>) -> Grammar<V> {
             eps: e.eps.clone(),
         });
     }
-    Grammar { start: remap[&g.start()], entries }
+    Grammar {
+        start: remap[&g.start()],
+        entries,
+    }
 }
 
 #[cfg(test)]
@@ -605,7 +657,7 @@ mod tests {
         Prod {
             lead: Lead::Tok(t(tok)),
             tail,
-            tok_action: Some(Rc::new(|_| 0)),
+            tok_action: Some(Arc::new(|_| 0)),
             reduce: noop(),
         }
     }
@@ -635,7 +687,7 @@ mod tests {
                 // n ::= a n1 n2 ; n1 ::= c | ε ; n2 ::= c
                 b.push_prod(n0, tokprod(0, vec![n1, n2]));
                 b.push_prod(n1, tokprod(2, vec![]));
-                b.push_eps(n1, Reduce::eps(Rc::new(|| 0)));
+                b.push_eps(n1, Reduce::eps(Arc::new(|| 0)));
                 b.push_prod(n2, tokprod(2, vec![]));
             }
             _ => unreachable!(),
@@ -678,20 +730,26 @@ mod tests {
         b.push_prod(n0, tokprod(0, vec![m, n2]));
         b.push_prod(m, tokprod(1, vec![m2]));
         b.push_prod(m2, tokprod(2, vec![]));
-        b.push_eps(m2, Reduce::eps(Rc::new(|| 0)));
+        b.push_eps(m2, Reduce::eps(Arc::new(|| 0)));
         b.push_prod(n2, tokprod(2, vec![]));
         let g = b.finish(n0);
-        assert!(matches!(g.check_dgnf(), Err(DgnfError::UnguardedEps { .. })));
+        assert!(matches!(
+            g.check_dgnf(),
+            Err(DgnfError::UnguardedEps { .. })
+        ));
     }
 
     #[test]
     fn duplicate_eps_detected() {
         let mut b = GrammarBuilder::new();
         let n0 = b.fresh_nt();
-        b.push_eps(n0, Reduce::eps(Rc::new(|| 0)));
-        b.push_eps(n0, Reduce::eps(Rc::new(|| 1)));
+        b.push_eps(n0, Reduce::eps(Arc::new(|| 0)));
+        b.push_eps(n0, Reduce::eps(Arc::new(|| 1)));
         let g: Grammar<i64> = b.finish(n0);
-        assert!(matches!(g.check_dgnf(), Err(DgnfError::DuplicateEps { .. })));
+        assert!(matches!(
+            g.check_dgnf(),
+            Err(DgnfError::DuplicateEps { .. })
+        ));
     }
 
     #[test]
@@ -700,10 +758,18 @@ mod tests {
         let n0 = b.fresh_nt();
         b.push_prod(
             n0,
-            Prod { lead: Lead::Var(VarId::fresh()), tail: vec![], tok_action: None, reduce: noop() },
+            Prod {
+                lead: Lead::Var(VarId::fresh()),
+                tail: vec![],
+                tok_action: None,
+                reduce: noop(),
+            },
         );
         let g: Grammar<i64> = b.finish(n0);
-        assert!(matches!(g.check_dgnf(), Err(DgnfError::ResidualVariable { .. })));
+        assert!(matches!(
+            g.check_dgnf(),
+            Err(DgnfError::ResidualVariable { .. })
+        ));
     }
 
     #[test]

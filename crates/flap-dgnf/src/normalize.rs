@@ -26,7 +26,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use flap_cfe::{Cfe, CfeNode, MapAction, SeqAction, VarId};
 
@@ -57,10 +57,16 @@ impl fmt::Display for NormalizeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NormalizeError::NullableSeqHead => {
-                write!(f, "cannot normalize: left operand of a sequence is nullable")
+                write!(
+                    f,
+                    "cannot normalize: left operand of a sequence is nullable"
+                )
             }
             NormalizeError::NullableVarHead => {
-                write!(f, "cannot normalize: nullable variable used before a non-empty tail")
+                write!(
+                    f,
+                    "cannot normalize: nullable variable used before a non-empty tail"
+                )
             }
             NormalizeError::UnguardedFix(v) => {
                 write!(f, "cannot normalize: μ{:?} is left-recursive", v)
@@ -87,7 +93,10 @@ impl std::error::Error for NormalizeError {}
 /// fragment; run [`flap_cfe::type_check`] first for a precise
 /// diagnosis.
 pub fn normalize<V: 'static>(g: &Cfe<V>) -> Result<Grammar<V>, NormalizeError> {
-    let mut n = Normalizer { b: GrammarBuilder::new(), env: HashMap::new() };
+    let mut n = Normalizer {
+        b: GrammarBuilder::new(),
+        env: HashMap::new(),
+    };
     let start = n.norm_copy(g)?;
     Ok(trim(&n.b.finish(start)))
 }
@@ -95,7 +104,10 @@ pub fn normalize<V: 'static>(g: &Cfe<V>) -> Result<Grammar<V>, NormalizeError> {
 /// As [`normalize`], but keeps unreachable nonterminals — useful for
 /// inspecting the raw Fig 4 output (cf. the appendix derivation).
 pub fn normalize_untrimmed<V: 'static>(g: &Cfe<V>) -> Result<Grammar<V>, NormalizeError> {
-    let mut n = Normalizer { b: GrammarBuilder::new(), env: HashMap::new() };
+    let mut n = Normalizer {
+        b: GrammarBuilder::new(),
+        env: HashMap::new(),
+    };
     let start = n.norm_copy(g)?;
     Ok(n.b.finish(start))
 }
@@ -164,13 +176,15 @@ fn map_reduce<V: 'static>(inner: Reduce<V>, f: MapAction<V>) -> Reduce<V> {
 fn subst_reduce<V: 'static>(inner: &Reduce<V>, outer_tail: u16, outer: &Reduce<V>) -> Reduce<V> {
     let m = inner.arity();
     let arity = m + outer_tail;
-    let mut ops: Vec<ReduceOp<V>> =
-        Vec::with_capacity(inner.ops().len() + outer.ops().len() + 2);
+    let mut ops: Vec<ReduceOp<V>> = Vec::with_capacity(inner.ops().len() + outer.ops().len() + 2);
     if outer_tail > 0 && m > 0 {
         if m + outer_tail == 2 {
             push_rot_r(&mut ops, 2); // left rotation by 1 over 2 = swap
         } else {
-            ops.push(ReduceOp::RotL { span: m + outer_tail, by: m });
+            ops.push(ReduceOp::RotL {
+                span: m + outer_tail,
+                by: m,
+            });
         }
     }
     ops.extend(inner.ops().iter().cloned());
@@ -190,7 +204,12 @@ impl<V: 'static> Normalizer<V> {
                 let n = self.b.fresh_nt();
                 self.b.push_prod(
                     n,
-                    Prod { lead: Lead::Var(*v), tail: vec![], tok_action: None, reduce: identity() },
+                    Prod {
+                        lead: Lead::Var(*v),
+                        tail: vec![],
+                        tok_action: None,
+                        reduce: identity(),
+                    },
                 );
                 Ok(n)
             }
@@ -215,7 +234,7 @@ impl<V: 'static> Normalizer<V> {
             // (epsilon)
             CfeNode::Eps(f) => {
                 let n = self.b.fresh_nt();
-                self.b.push_eps(n, Reduce::eps(Rc::clone(f)));
+                self.b.push_eps(n, Reduce::eps(Arc::clone(f)));
                 Ok(n)
             }
             // (token)
@@ -226,7 +245,7 @@ impl<V: 'static> Normalizer<V> {
                     Prod {
                         lead: Lead::Tok(*t),
                         tail: vec![],
-                        tok_action: Some(Rc::clone(a)),
+                        tok_action: Some(Arc::clone(a)),
                         reduce: identity(),
                     },
                 );
@@ -251,7 +270,7 @@ impl<V: 'static> Normalizer<V> {
                             lead: p.lead,
                             tail,
                             tok_action: p.tok_action,
-                            reduce: seq_reduce(p.reduce, Rc::clone(combine)),
+                            reduce: seq_reduce(p.reduce, Arc::clone(combine)),
                         },
                     );
                 }
@@ -286,12 +305,12 @@ impl<V: 'static> Normalizer<V> {
                             lead: p.lead,
                             tail: p.tail,
                             tok_action: p.tok_action,
-                            reduce: map_reduce(p.reduce, Rc::clone(f)),
+                            reduce: map_reduce(p.reduce, Arc::clone(f)),
                         },
                     );
                 }
                 for e in entry.eps {
-                    self.b.push_eps(n, map_reduce(e, Rc::clone(f)));
+                    self.b.push_eps(n, map_reduce(e, Arc::clone(f)));
                 }
                 Ok(n)
             }
@@ -348,11 +367,7 @@ impl<V: 'static> Normalizer<V> {
                                 lead: inner.lead,
                                 tail,
                                 tok_action: inner.tok_action.clone(),
-                                reduce: subst_reduce(
-                                    &inner.reduce,
-                                    outer_tail as u16,
-                                    &p.reduce,
-                                ),
+                                reduce: subst_reduce(&inner.reduce, outer_tail as u16, &p.reduce),
                             });
                         }
                         for e in &body_entry.eps {

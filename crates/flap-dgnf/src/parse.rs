@@ -46,7 +46,11 @@ impl fmt::Display for DgnfParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DgnfParseError::UnexpectedToken { token, pos, nt } => {
-                write!(f, "unexpected token {:?} at byte {} while parsing {:?}", token, pos, nt)
+                write!(
+                    f,
+                    "unexpected token {:?} at byte {} while parsing {:?}",
+                    token, pos, nt
+                )
             }
             DgnfParseError::UnexpectedEof { nt } => {
                 write!(f, "unexpected end of input while parsing {:?}", nt)
@@ -130,7 +134,9 @@ pub fn parse_tokens<V>(
         }
     }
     if idx != lexemes.len() {
-        return Err(DgnfParseError::TrailingInput { pos: lexemes[idx].start });
+        return Err(DgnfParseError::TrailingInput {
+            pos: lexemes[idx].start,
+        });
     }
     debug_assert_eq!(values.len(), 1, "parse must produce exactly one value");
     Ok(values.pop().expect("parse produced no value"))
@@ -152,8 +158,7 @@ mod tests {
         let mut lexer = b.build().unwrap();
         let clex = CompiledLexer::build(&mut lexer);
         let sexp: Cfe<i64> = Cfe::fix(|sexp| {
-            let sexps =
-                Cfe::fix(|sexps| Cfe::eps_with(|| 0).or(sexp.then(sexps, |a, b| a + b)));
+            let sexps = Cfe::fix(|sexps| Cfe::eps_with(|| 0).or(sexp.then(sexps, |a, b| a + b)));
             Cfe::tok_val(lpar, 0)
                 .then(sexps, |_, n| n)
                 .then(Cfe::tok_val(rpar, 0), |n, _| n)
@@ -182,11 +187,26 @@ mod tests {
 
     #[test]
     fn rejects_malformed_sexps() {
-        assert!(matches!(count_atoms(b""), Err(DgnfParseError::UnexpectedEof { .. })));
-        assert!(matches!(count_atoms(b"(a"), Err(DgnfParseError::UnexpectedEof { .. })));
-        assert!(matches!(count_atoms(b")"), Err(DgnfParseError::UnexpectedToken { .. })));
-        assert!(matches!(count_atoms(b"a b"), Err(DgnfParseError::TrailingInput { .. })));
-        assert!(matches!(count_atoms(b"(a))"), Err(DgnfParseError::TrailingInput { .. })));
+        assert!(matches!(
+            count_atoms(b""),
+            Err(DgnfParseError::UnexpectedEof { .. })
+        ));
+        assert!(matches!(
+            count_atoms(b"(a"),
+            Err(DgnfParseError::UnexpectedEof { .. })
+        ));
+        assert!(matches!(
+            count_atoms(b")"),
+            Err(DgnfParseError::UnexpectedToken { .. })
+        ));
+        assert!(matches!(
+            count_atoms(b"a b"),
+            Err(DgnfParseError::TrailingInput { .. })
+        ));
+        assert!(matches!(
+            count_atoms(b"(a))"),
+            Err(DgnfParseError::TrailingInput { .. })
+        ));
     }
 
     #[test]
@@ -271,11 +291,16 @@ mod tests {
             Cfe::tok_val(lpar, String::new())
                 .then(sexps, |_, n| n)
                 .then(Cfe::tok_val(rpar, String::new()), |n, _| format!("({n})"))
-                .or(Cfe::tok_with(atom, |lx| String::from_utf8(lx.to_vec()).unwrap()))
+                .or(Cfe::tok_with(atom, |lx| {
+                    String::from_utf8(lx.to_vec()).unwrap()
+                }))
         });
         let g = normalize(&sexp).unwrap();
         let input = b"(foo (bar  baz) ())";
         let lexemes = clex.tokenize(input).unwrap();
-        assert_eq!(parse_tokens(&g, input, &lexemes).unwrap(), "(foo (bar baz) ())");
+        assert_eq!(
+            parse_tokens(&g, input, &lexemes).unwrap(),
+            "(foo (bar baz) ())"
+        );
     }
 }

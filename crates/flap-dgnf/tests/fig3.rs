@@ -7,7 +7,11 @@ use flap_dgnf::{normalize, normalize_untrimmed, Grammar, Lead, NtId};
 use flap_lex::Token;
 
 fn tokens() -> (Token, Token, Token) {
-    (Token::from_index(0), Token::from_index(1), Token::from_index(2)) // atom, lpar, rpar
+    (
+        Token::from_index(0),
+        Token::from_index(1),
+        Token::from_index(2),
+    ) // atom, lpar, rpar
 }
 
 fn sexp_cfe() -> Cfe<i64> {

@@ -14,7 +14,7 @@
 //!   ε applies exactly when nothing else can match.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use flap_cfe::TokAction;
 use flap_dgnf::{Grammar, Lead, NtId, Reduce};
@@ -43,7 +43,10 @@ pub struct FusedToken<V> {
 
 impl<V> Clone for FusedProd<V> {
     fn clone(&self) -> Self {
-        FusedProd { regex: self.regex, token: self.token.clone() }
+        FusedProd {
+            regex: self.regex,
+            token: self.token.clone(),
+        }
     }
 }
 
@@ -52,7 +55,7 @@ impl<V> Clone for FusedToken<V> {
         FusedToken {
             token: self.token,
             tail: self.tail.clone(),
-            tok_action: Rc::clone(&self.tok_action),
+            tok_action: Arc::clone(&self.tok_action),
             reduce: self.reduce.clone(),
         }
     }
@@ -84,7 +87,10 @@ pub struct FusedGrammar<V> {
 
 impl<V> Clone for FusedGrammar<V> {
     fn clone(&self) -> Self {
-        FusedGrammar { start: self.start, nts: self.nts.clone() }
+        FusedGrammar {
+            start: self.start,
+            nts: self.nts.clone(),
+        }
     }
 }
 
@@ -200,7 +206,10 @@ pub fn fuse<V>(lexer: &mut Lexer, grammar: &Grammar<V>) -> Result<FusedGrammar<V
         }
         // F2: whitespace self-loop.
         if let Some(r) = skip {
-            prods.push(FusedProd { regex: r, token: None });
+            prods.push(FusedProd {
+                regex: r,
+                token: None,
+            });
         }
         // F3: ε-production becomes a lookahead on the complement of
         // the other rules.
@@ -219,7 +228,10 @@ pub fn fuse<V>(lexer: &mut Lexer, grammar: &Grammar<V>) -> Result<FusedGrammar<V
         };
         nts.push(FusedNt { prods, eps });
     }
-    Ok(FusedGrammar { start: grammar.start(), nts })
+    Ok(FusedGrammar {
+        start: grammar.start(),
+        nts,
+    })
 }
 
 /// Fig 3e-style rendering of a fused grammar; created by

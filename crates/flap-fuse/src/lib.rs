@@ -43,4 +43,4 @@ mod fuse;
 mod parse;
 
 pub use fuse::{fuse, DisplayFused, FuseError, FusedGrammar, FusedNt, FusedProd, FusedToken};
-pub use parse::{parse_fused, FusedParseError};
+pub use parse::{line_col, parse_fused, parse_fused_with, FusedParseError, FusedSession};

@@ -12,16 +12,36 @@
 //! and nullability checks; `flap-staged` removes exactly that cost.
 //! Benchmarking the two against each other isolates the contribution
 //! of staging (§6).
+//!
+//! Per-parse mutable state (control stack, value stack, live
+//! derivative set) lives in a caller-owned [`FusedSession`], mirroring
+//! `flap-staged`'s `ParseSession`, so the staged/unstaged differential
+//! comparison exercises the same ownership discipline on both sides.
 
 use std::fmt;
 
-use flap_dgnf::{NtId, Reduce};
+use flap_dgnf::NtId;
 use flap_regex::{RegexArena, RegexId};
 
 use crate::fuse::{FusedGrammar, FusedProd};
 
+/// 1-based line and column of byte offset `pos` within `input`.
+///
+/// Columns count bytes since the last `\n` (adequate for the ASCII
+/// grammars of the evaluation; multi-byte code points count per byte).
+/// Offsets past the end of the input locate one column past the last
+/// line's content, which is where "unexpected end of input" points.
+pub fn line_col(input: &[u8], pos: usize) -> (usize, usize) {
+    let upto = &input[..pos.min(input.len())];
+    let line = 1 + upto.iter().filter(|&&b| b == b'\n').count();
+    let col = 1 + upto.iter().rev().take_while(|&&b| b != b'\n').count();
+    (line, col)
+}
+
 /// Parse failure for fused parsing (byte-level positions: there are
-/// no tokens to report).
+/// no tokens to report). Each variant also carries the 1-based
+/// line/column of the failure, computed from the input at
+/// construction time, so `Display` messages are actionable.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum FusedParseError {
     /// No production of the pending nonterminal matches the input at
@@ -29,6 +49,10 @@ pub enum FusedParseError {
     NoMatch {
         /// Byte offset where the longest-match scan started.
         pos: usize,
+        /// 1-based line of `pos`.
+        line: usize,
+        /// 1-based column of `pos`.
+        col: usize,
         /// The nonterminal being parsed.
         nt: NtId,
     },
@@ -36,25 +60,66 @@ pub enum FusedParseError {
     TrailingInput {
         /// Byte offset of the first unconsumed byte.
         pos: usize,
+        /// 1-based line of `pos`.
+        line: usize,
+        /// 1-based column of `pos`.
+        col: usize,
     },
+}
+
+impl FusedParseError {
+    /// The byte offset of the failure.
+    pub fn pos(&self) -> usize {
+        match self {
+            FusedParseError::NoMatch { pos, .. } | FusedParseError::TrailingInput { pos, .. } => {
+                *pos
+            }
+        }
+    }
+
+    /// The 1-based (line, column) of the failure.
+    pub fn line_col(&self) -> (usize, usize) {
+        match self {
+            FusedParseError::NoMatch { line, col, .. }
+            | FusedParseError::TrailingInput { line, col, .. } => (*line, *col),
+        }
+    }
 }
 
 impl fmt::Display for FusedParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FusedParseError::NoMatch { pos, nt } => {
-                write!(f, "parse error at byte {} (while parsing {:?})", pos, nt)
+            FusedParseError::NoMatch { pos, line, col, nt } => {
+                write!(
+                    f,
+                    "parse error at line {}, column {} (byte {}) while parsing {:?}",
+                    line, col, pos, nt
+                )
             }
-            FusedParseError::TrailingInput { pos } => write!(f, "trailing input at byte {}", pos),
+            FusedParseError::TrailingInput { pos, line, col } => {
+                write!(
+                    f,
+                    "trailing input at line {}, column {} (byte {})",
+                    line, col, pos
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for FusedParseError {}
 
-enum Ctl<'g, V> {
+/// Control-stack entry: parse a nonterminal, or run the reduce of
+/// production `prods[idx]` of nonterminal `nt`.
+///
+/// Reduces are addressed by index rather than held by borrow or
+/// `Arc` clone, so entries stay `Copy` and the stack can live in a
+/// session that outlives any single call without refcount traffic on
+/// the per-token hot path (mirroring the staged VM's `Ctl::Reduce(u32)`).
+#[derive(Clone, Copy)]
+enum Ctl {
     Nt(NtId),
-    Reduce(&'g Reduce<V>),
+    Reduce { nt: NtId, idx: u32 },
 }
 
 /// The three continuations of Fig 9 (`no`, `back`, `on n̄`),
@@ -66,8 +131,40 @@ enum K {
     On(usize),
 }
 
+/// Caller-owned scratch state for [`parse_fused_with`]: the control
+/// stack, value stack and live-derivative set of the Fig 9
+/// interpreter. The unstaged counterpart of
+/// `flap_staged::ParseSession`.
+pub struct FusedSession<V> {
+    control: Vec<Ctl>,
+    values: Vec<V>,
+    /// Reused scratch buffer for the live derivative set.
+    live: Vec<(RegexId, usize)>,
+}
+
+impl<V> FusedSession<V> {
+    /// An empty session; buffers grow on first use and are then
+    /// retained across parses.
+    pub fn new() -> Self {
+        FusedSession {
+            control: Vec::new(),
+            values: Vec::new(),
+            live: Vec::new(),
+        }
+    }
+}
+
+impl<V> Default for FusedSession<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Parses the whole input with the fused grammar, computing
 /// derivatives on the fly (the unstaged algorithm of §5.3).
+///
+/// Convenience wrapper over [`parse_fused_with`] that allocates a
+/// fresh [`FusedSession`] per call.
 ///
 /// Trailing skippable input (e.g. final whitespace) is consumed after
 /// the start symbol completes.
@@ -81,15 +178,45 @@ pub fn parse_fused<V>(
     skip: Option<RegexId>,
     input: &[u8],
 ) -> Result<V, FusedParseError> {
-    let mut control: Vec<Ctl<'_, V>> = vec![Ctl::Nt(fg.start())];
-    let mut values: Vec<V> = Vec::new();
+    parse_fused_with(fg, arena, skip, &mut FusedSession::new(), input)
+}
+
+/// As [`parse_fused`], with caller-owned scratch state.
+///
+/// Note that unlike the staged VM, the unstaged interpreter *must*
+/// mutate the regex arena (derivatives are computed and memoized at
+/// parse time), so concurrent use requires one arena per thread as
+/// well as one session per thread.
+///
+/// # Errors
+///
+/// [`FusedParseError`] on mismatch or trailing input.
+pub fn parse_fused_with<V>(
+    fg: &FusedGrammar<V>,
+    arena: &mut RegexArena,
+    skip: Option<RegexId>,
+    session: &mut FusedSession<V>,
+    input: &[u8],
+) -> Result<V, FusedParseError> {
+    let FusedSession {
+        control,
+        values,
+        live,
+    } = session;
+    control.clear();
+    values.clear();
+    control.push(Ctl::Nt(fg.start()));
     let mut pos = 0usize;
-    // Reused scratch buffer for the live derivative set.
-    let mut live: Vec<(RegexId, usize)> = Vec::new();
 
     while let Some(ctl) = control.pop() {
         match ctl {
-            Ctl::Reduce(r) => r.run(&mut values),
+            Ctl::Reduce { nt, idx } => {
+                let tok = fg.entry(nt).prods[idx as usize]
+                    .token
+                    .as_ref()
+                    .expect("Reduce entries address token productions");
+                tok.reduce.run(values);
+            }
             Ctl::Nt(n) => {
                 let entry = fg.entry(n);
                 // F: scan one token for nonterminal `n`.
@@ -121,10 +248,18 @@ pub fn parse_fused<V>(
                 }
                 // Step(k, rs)
                 match k {
-                    K::No => return Err(FusedParseError::NoMatch { pos: tok_start, nt: n }),
+                    K::No => {
+                        let (line, col) = line_col(input, tok_start);
+                        return Err(FusedParseError::NoMatch {
+                            pos: tok_start,
+                            line,
+                            col,
+                            nt: n,
+                        });
+                    }
                     K::Back => {
                         let (_, eps) = entry.eps.as_ref().expect("Back implies an ε rule");
-                        eps.run(&mut values);
+                        eps.run(values);
                         // consume nothing: pos stays at tok_start
                         pos = tok_start;
                     }
@@ -139,7 +274,10 @@ pub fn parse_fused<V>(
                             }
                             Some(tok) => {
                                 values.push((tok.tok_action)(&input[tok_start..rs]));
-                                control.push(Ctl::Reduce(&tok.reduce));
+                                control.push(Ctl::Reduce {
+                                    nt: n,
+                                    idx: idx as u32,
+                                });
                                 for &m in tok.tail.iter().rev() {
                                     control.push(Ctl::Nt(m));
                                 }
@@ -152,7 +290,8 @@ pub fn parse_fused<V>(
     }
     pos = consume_trailing_skips(arena, skip, input, pos);
     if pos != input.len() {
-        return Err(FusedParseError::TrailingInput { pos });
+        let (line, col) = line_col(input, pos);
+        return Err(FusedParseError::TrailingInput { pos, line, col });
     }
     debug_assert_eq!(values.len(), 1, "parse must produce exactly one value");
     Ok(values.pop().expect("parse produced no value"))
@@ -202,8 +341,7 @@ mod tests {
         let rpar = b.token("rpar", r"\)").unwrap();
         let mut lexer = b.build().unwrap();
         let sexp: Cfe<i64> = Cfe::fix(|sexp| {
-            let sexps =
-                Cfe::fix(|sexps| Cfe::eps_with(|| 0).or(sexp.then(sexps, |a, b| a + b)));
+            let sexps = Cfe::fix(|sexps| Cfe::eps_with(|| 0).or(sexp.then(sexps, |a, b| a + b)));
             Cfe::tok_val(lpar, 0)
                 .then(sexps, |_, n| n)
                 .then(Cfe::tok_val(rpar, 0), |n, _| n)
@@ -243,8 +381,66 @@ mod tests {
         assert!(matches!(count(b""), Err(FusedParseError::NoMatch { .. })));
         assert!(matches!(count(b"(a"), Err(FusedParseError::NoMatch { .. })));
         assert!(matches!(count(b")"), Err(FusedParseError::NoMatch { .. })));
-        assert!(matches!(count(b"a b"), Err(FusedParseError::TrailingInput { .. })));
-        assert!(matches!(count(b"(a) !"), Err(FusedParseError::TrailingInput { .. })));
+        assert!(matches!(
+            count(b"a b"),
+            Err(FusedParseError::TrailingInput { .. })
+        ));
+        assert!(matches!(
+            count(b"(a) !"),
+            Err(FusedParseError::TrailingInput { .. })
+        ));
+    }
+
+    #[test]
+    fn session_reuse_agrees_with_fresh_sessions() {
+        let (mut lexer, fused) = sexp_setup();
+        let skip = lexer.skip_regex();
+        let mut session = FusedSession::new();
+        for input in [&b"(a (b c))"[..], b"a", b"(a", b"(x y z)", b"", b"(p q)"] {
+            let reused = parse_fused_with(&fused, lexer.arena_mut(), skip, &mut session, input);
+            let fresh = parse_fused(&fused, lexer.arena_mut(), skip, input);
+            assert_eq!(reused, fresh, "on {input:?}");
+        }
+    }
+
+    #[test]
+    fn line_col_computation() {
+        assert_eq!(line_col(b"abc", 0), (1, 1));
+        assert_eq!(line_col(b"abc", 2), (1, 3));
+        assert_eq!(line_col(b"ab\ncd", 3), (2, 1));
+        assert_eq!(line_col(b"ab\ncd", 4), (2, 2));
+        assert_eq!(line_col(b"a\n\nb", 3), (3, 1));
+        // offsets past the end clamp to just past the last byte
+        assert_eq!(line_col(b"ab", 99), (1, 3));
+        assert_eq!(line_col(b"", 0), (1, 1));
+    }
+
+    #[test]
+    fn errors_report_line_and_column() {
+        // error on line 2: the second `(` is never closed
+        let err = count(b"(a b\n(c").unwrap_err();
+        match err {
+            FusedParseError::NoMatch { line, col, .. } => {
+                assert_eq!(line, 2, "{err}");
+                assert!(col >= 1, "{err}");
+            }
+            other => panic!("expected NoMatch, got {other:?}"),
+        }
+        assert!(err.to_string().contains("line 2"), "{err}");
+
+        let err = count(b"a\nb").unwrap_err();
+        assert!(
+            matches!(
+                err,
+                FusedParseError::TrailingInput {
+                    line: 2,
+                    col: 1,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("line 2, column 1"), "{err}");
     }
 
     #[test]
@@ -268,8 +464,7 @@ mod tests {
         let lpar = flap_lex::Token::from_index(1);
         let rpar = flap_lex::Token::from_index(2);
         let sexp: Cfe<i64> = Cfe::fix(|sexp| {
-            let sexps =
-                Cfe::fix(|sexps| Cfe::eps_with(|| 0).or(sexp.then(sexps, |a, b| a + b)));
+            let sexps = Cfe::fix(|sexps| Cfe::eps_with(|| 0).or(sexp.then(sexps, |a, b| a + b)));
             Cfe::tok_val(lpar, 0)
                 .then(sexps, |_, n| n)
                 .then(Cfe::tok_val(rpar, 0), |n, _| n)

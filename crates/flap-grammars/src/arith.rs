@@ -225,10 +225,10 @@ pub fn cfe() -> Cfe<Ast> {
         let muls = {
             let atom = atom.clone();
             Cfe::fix(move |a| {
-                let op =
-                    Cfe::tok_val(t.star, Ast::Num(0)).map(|_| Ast::Tail(Op::Mul, Box::new(Ast::NoTail)))
-                        .or(Cfe::tok_val(t.slash, Ast::Num(0))
-                            .map(|_| Ast::Tail(Op::Div, Box::new(Ast::NoTail))));
+                let op = Cfe::tok_val(t.star, Ast::Num(0))
+                    .map(|_| Ast::Tail(Op::Mul, Box::new(Ast::NoTail)))
+                    .or(Cfe::tok_val(t.slash, Ast::Num(0))
+                        .map(|_| Ast::Tail(Op::Div, Box::new(Ast::NoTail))));
                 Cfe::eps(Ast::NoTail).or(op
                     .then(atom.clone(), |op_marker, rhs| match op_marker {
                         Ast::Tail(op, _) => Ast::Tail(op, Box::new(rhs)),
@@ -264,9 +264,12 @@ pub fn cfe() -> Cfe<Ast> {
         // cmp ::= add ((<|=|>) add)?
         let cmp_tail = {
             let add = add.clone();
-            let op = Cfe::tok_val(t.lt, Ast::Num(0)).map(|_| Ast::Tail(Op::Lt, Box::new(Ast::NoTail)))
-                .or(Cfe::tok_val(t.eq, Ast::Num(0)).map(|_| Ast::Tail(Op::Eq, Box::new(Ast::NoTail))))
-                .or(Cfe::tok_val(t.gt, Ast::Num(0)).map(|_| Ast::Tail(Op::Gt, Box::new(Ast::NoTail))));
+            let op = Cfe::tok_val(t.lt, Ast::Num(0))
+                .map(|_| Ast::Tail(Op::Lt, Box::new(Ast::NoTail)))
+                .or(Cfe::tok_val(t.eq, Ast::Num(0))
+                    .map(|_| Ast::Tail(Op::Eq, Box::new(Ast::NoTail))))
+                .or(Cfe::tok_val(t.gt, Ast::Num(0))
+                    .map(|_| Ast::Tail(Op::Gt, Box::new(Ast::NoTail))));
             Cfe::eps(Ast::NoTail).or(op.then(add, |op_marker, rhs| match op_marker {
                 Ast::Tail(op, _) => Ast::Tail(op, Box::new(rhs)),
                 other => unreachable!("unexpected marker {other:?}"),
@@ -277,14 +280,16 @@ pub fn cfe() -> Cfe<Ast> {
         let let_expr = Cfe::tok_val(t.klet, Ast::NoTail)
             .then(Cfe::tok_with(t.ident, ident_action), |_, x| x)
             .then(Cfe::tok_val(t.eq, Ast::NoTail), |x, _| x)
-            .then(expr.clone(), |x, e1| Ast::Let(
-                match x {
-                    Ast::Var(name) => name,
-                    other => unreachable!("unexpected binder {other:?}"),
-                },
-                Box::new(e1),
-                Box::new(Ast::NoTail),
-            ))
+            .then(expr.clone(), |x, e1| {
+                Ast::Let(
+                    match x {
+                        Ast::Var(name) => name,
+                        other => unreachable!("unexpected binder {other:?}"),
+                    },
+                    Box::new(e1),
+                    Box::new(Ast::NoTail),
+                )
+            })
             .then(Cfe::tok_val(t.kin, Ast::NoTail), |l, _| l)
             .then(expr.clone(), |l, e2| match l {
                 Ast::Let(x, e1, _) => Ast::Let(x, e1, Box::new(e2)),
@@ -293,7 +298,9 @@ pub fn cfe() -> Cfe<Ast> {
         let if_expr = Cfe::tok_val(t.kif, Ast::NoTail)
             .then(expr.clone(), |_, c| c)
             .then(Cfe::tok_val(t.kthen, Ast::NoTail), |c, _| c)
-            .then(expr.clone(), |c, th| Ast::If(Box::new(c), Box::new(th), Box::new(Ast::NoTail)))
+            .then(expr.clone(), |c, th| {
+                Ast::If(Box::new(c), Box::new(th), Box::new(Ast::NoTail))
+            })
             .then(Cfe::tok_val(t.kelse, Ast::NoTail), |i, _| i)
             .then(expr, |i, el| match i {
                 Ast::If(c, th, _) => Ast::If(c, th, Box::new(el)),
@@ -505,7 +512,13 @@ fn fresh_name(rng: &mut StdRng) -> String {
     s
 }
 
-fn gen_expr(rng: &mut StdRng, out: &mut Vec<u8>, scope: &mut Vec<String>, budget: usize, depth: usize) {
+fn gen_expr(
+    rng: &mut StdRng,
+    out: &mut Vec<u8>,
+    scope: &mut Vec<String>,
+    budget: usize,
+    depth: usize,
+) {
     if depth > 16 || out.len() >= budget {
         gen_atom(rng, out, scope, budget, depth);
         return;
@@ -544,7 +557,13 @@ fn gen_expr(rng: &mut StdRng, out: &mut Vec<u8>, scope: &mut Vec<String>, budget
     }
 }
 
-fn gen_add(rng: &mut StdRng, out: &mut Vec<u8>, scope: &mut Vec<String>, budget: usize, depth: usize) {
+fn gen_add(
+    rng: &mut StdRng,
+    out: &mut Vec<u8>,
+    scope: &mut Vec<String>,
+    budget: usize,
+    depth: usize,
+) {
     gen_mul(rng, out, scope, budget, depth);
     while rng.random_bool(0.4) && out.len() < budget {
         out.extend_from_slice(if rng.random_bool(0.5) { b" + " } else { b" - " });
@@ -552,7 +571,13 @@ fn gen_add(rng: &mut StdRng, out: &mut Vec<u8>, scope: &mut Vec<String>, budget:
     }
 }
 
-fn gen_mul(rng: &mut StdRng, out: &mut Vec<u8>, scope: &mut Vec<String>, budget: usize, depth: usize) {
+fn gen_mul(
+    rng: &mut StdRng,
+    out: &mut Vec<u8>,
+    scope: &mut Vec<String>,
+    budget: usize,
+    depth: usize,
+) {
     gen_atom(rng, out, scope, budget, depth);
     while rng.random_bool(0.3) && out.len() < budget {
         out.extend_from_slice(if rng.random_bool(0.7) { b" * " } else { b" / " });
@@ -560,7 +585,13 @@ fn gen_mul(rng: &mut StdRng, out: &mut Vec<u8>, scope: &mut Vec<String>, budget:
     }
 }
 
-fn gen_atom(rng: &mut StdRng, out: &mut Vec<u8>, scope: &mut Vec<String>, budget: usize, depth: usize) {
+fn gen_atom(
+    rng: &mut StdRng,
+    out: &mut Vec<u8>,
+    scope: &mut Vec<String>,
+    budget: usize,
+    depth: usize,
+) {
     if depth <= 16 && out.len() < budget && rng.random_bool(0.15) {
         out.push(b'(');
         gen_expr(rng, out, scope, budget, depth + 1);
@@ -581,7 +612,14 @@ fn finish(ast: Ast) -> i64 {
 
 /// The bundled definition for the benchmark harness.
 pub fn def() -> GrammarDef<Ast> {
-    GrammarDef { name: "arith", lexer, cfe, finish, generate, reference }
+    GrammarDef {
+        name: "arith",
+        lexer,
+        cfe,
+        finish,
+        generate,
+        reference,
+    }
 }
 
 #[cfg(test)]
@@ -643,8 +681,19 @@ mod tests {
     #[test]
     fn rejects_malformed() {
         let p = def().flap_parser();
-        for input in [&b"1 +"[..], b"let = 3 in x", b"if 1 then 2", b"(1", b"", b"1 2"] {
-            assert!(p.parse(input).is_err(), "{:?} should fail", String::from_utf8_lossy(input));
+        for input in [
+            &b"1 +"[..],
+            b"let = 3 in x",
+            b"if 1 then 2",
+            b"(1",
+            b"",
+            b"1 2",
+        ] {
+            assert!(
+                p.parse(input).is_err(),
+                "{:?} should fail",
+                String::from_utf8_lossy(input)
+            );
             assert!(reference(input).is_err());
         }
     }

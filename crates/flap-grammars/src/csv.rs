@@ -43,7 +43,8 @@ pub fn tokens() -> Tokens {
 pub fn lexer() -> Lexer {
     let mut b = LexerBuilder::new();
     b.token("text", "[^,\"\r\n]+").expect("valid pattern");
-    b.token("quoted", "\"([^\"]|\"\")*\"").expect("valid pattern");
+    b.token("quoted", "\"([^\"]|\"\")*\"")
+        .expect("valid pattern");
     b.token("comma", ",").expect("valid pattern");
     b.token("crlf", "\r\n").expect("valid pattern");
     b.build().expect("csv lexer canonicalizes")
@@ -75,9 +76,7 @@ pub fn cfe() -> Cfe<i64> {
                 .or(Cfe::tok_val(t.crlf, 1))
         })
     };
-    Cfe::fix(move |file| {
-        line("l").then(Cfe::eps_with(|| 0).or(file), |cells, rest| cells + rest)
-    })
+    Cfe::fix(move |file| line("l").then(Cfe::eps_with(|| 0).or(file), |cells, rest| cells + rest))
 }
 
 /// Handwritten oracle: validates RFC 4180 shape (with mandatory
@@ -163,7 +162,7 @@ pub fn generate(seed: u64, target: usize) -> Vec<u8> {
                     }
                     out.push(b'"');
                 }
-                3 | 4 | 5 => {
+                3..=5 => {
                     for _ in 0..rng.random_range(1..8) {
                         out.push(rng.random_range(b'0'..=b'9'));
                     }
@@ -182,7 +181,14 @@ pub fn generate(seed: u64, target: usize) -> Vec<u8> {
 
 /// The bundled definition for the benchmark harness.
 pub fn def() -> GrammarDef<i64> {
-    GrammarDef { name: "csv", lexer, cfe, finish: |v| v, generate, reference }
+    GrammarDef {
+        name: "csv",
+        lexer,
+        cfe,
+        finish: |v| v,
+        generate,
+        reference,
+    }
 }
 
 #[cfg(test)]
@@ -220,8 +226,18 @@ mod tests {
     #[test]
     fn rejects_malformed() {
         let p = def().flap_parser();
-        for input in [&b""[..], b"a,b", b"a\nb\r\n", b"\"unterminated\r\n", b"a\"b\r\n"] {
-            assert!(p.parse(input).is_err(), "{:?} should fail", String::from_utf8_lossy(input));
+        for input in [
+            &b""[..],
+            b"a,b",
+            b"a\nb\r\n",
+            b"\"unterminated\r\n",
+            b"a\"b\r\n",
+        ] {
+            assert!(
+                p.parse(input).is_err(),
+                "{:?} should fail",
+                String::from_utf8_lossy(input)
+            );
             assert!(reference(input).is_err());
         }
     }

@@ -61,9 +61,13 @@ pub fn lexer() -> Lexer {
     b.token_literal("rbracket", "]").expect("valid");
     b.token_literal("colon", ":").expect("valid");
     b.token_literal("comma", ",").expect("valid");
-    b.token("string", r#""([^"\\]|\\.)*""#).expect("valid pattern");
-    b.token("number", r"-?(0|[1-9][0-9]*)(\.[0-9]+)?((e|E)(\+|-)?[0-9]+)?")
+    b.token("string", r#""([^"\\]|\\.)*""#)
         .expect("valid pattern");
+    b.token(
+        "number",
+        r"-?(0|[1-9][0-9]*)(\.[0-9]+)?((e|E)(\+|-)?[0-9]+)?",
+    )
+    .expect("valid pattern");
     b.token_literal("true", "true").expect("valid");
     b.token_literal("false", "false").expect("valid");
     b.token_literal("null", "null").expect("valid");
@@ -388,7 +392,14 @@ fn gen_value(rng: &mut StdRng, out: &mut Vec<u8>, budget: usize, depth: usize) {
 
 /// The bundled definition for the benchmark harness.
 pub fn def() -> GrammarDef<i64> {
-    GrammarDef { name: "json", lexer, cfe, finish: |v| v, generate, reference }
+    GrammarDef {
+        name: "json",
+        lexer,
+        cfe,
+        finish: |v| v,
+        generate,
+        reference,
+    }
 }
 
 #[cfg(test)]
@@ -424,8 +435,12 @@ mod tests {
             b"  true  ",
             br#"{"esc": "\"\\"}"#,
         ] {
-            assert_eq!(p.parse(input).ok(), reference(input).ok(), "on {:?}",
-                String::from_utf8_lossy(input));
+            assert_eq!(
+                p.parse(input).ok(),
+                reference(input).ok(),
+                "on {:?}",
+                String::from_utf8_lossy(input)
+            );
         }
     }
 
@@ -442,8 +457,16 @@ mod tests {
             b"",
             b"{} {}",
         ] {
-            assert!(p.parse(input).is_err(), "{:?} should fail", String::from_utf8_lossy(input));
-            assert!(reference(input).is_err(), "{:?} ref should fail", String::from_utf8_lossy(input));
+            assert!(
+                p.parse(input).is_err(),
+                "{:?} should fail",
+                String::from_utf8_lossy(input)
+            );
+            assert!(
+                reference(input).is_err(),
+                "{:?} ref should fail",
+                String::from_utf8_lossy(input)
+            );
         }
     }
 

@@ -68,14 +68,17 @@ pub fn lexer() -> Lexer {
     let mut b = LexerBuilder::new();
     b.token_literal("lbracket", "[").expect("valid");
     b.token_literal("rbracket", "]").expect("valid");
-    b.token("string", r#""([^"\\]|\\.)*""#).expect("valid pattern");
+    b.token("string", r#""([^"\\]|\\.)*""#)
+        .expect("valid pattern");
     b.token_literal("res_white", "1-0").expect("valid");
     b.token_literal("res_black", "0-1").expect("valid");
     b.token_literal("res_draw", "1/2-1/2").expect("valid");
     b.token_literal("res_star", "*").expect("valid");
-    b.token("movenum", r"[0-9]+\.(\.\.)?").expect("valid pattern");
+    b.token("movenum", r"[0-9]+\.(\.\.)?")
+        .expect("valid pattern");
     b.token("nag", r"\$[0-9]+").expect("valid pattern");
-    b.token("word", "[a-zA-Z][a-zA-Z0-9+#=:_-]*").expect("valid pattern");
+    b.token("word", "[a-zA-Z][a-zA-Z0-9+#=:_-]*")
+        .expect("valid pattern");
     b.skip("[ \t\n\r]").expect("valid pattern");
     b.skip(r"\{[^}]*\}").expect("valid pattern"); // brace comments
     b.skip(";[^\n]*\n").expect("valid pattern"); // line comments
@@ -127,7 +130,8 @@ pub fn reference(input: &[u8]) -> Result<i64, String> {
     let mut total = 0i64;
     let mut any_game = false;
     let is_word_start = |c: u8| c.is_ascii_alphabetic();
-    let is_word = |c: u8| c.is_ascii_alphanumeric() || matches!(c, b'+' | b'#' | b'=' | b':' | b'_' | b'-');
+    let is_word =
+        |c: u8| c.is_ascii_alphanumeric() || matches!(c, b'+' | b'#' | b'=' | b':' | b'_' | b'-');
     'outer: loop {
         // skip whitespace and comments
         loop {
@@ -373,7 +377,14 @@ fn gen_san(rng: &mut StdRng, out: &mut Vec<u8>) {
 
 /// The bundled definition for the benchmark harness.
 pub fn def() -> GrammarDef<i64> {
-    GrammarDef { name: "pgn", lexer, cfe, finish: |v| v, generate, reference }
+    GrammarDef {
+        name: "pgn",
+        lexer,
+        cfe,
+        finish: |v| v,
+        generate,
+        reference,
+    }
 }
 
 #[cfg(test)]
@@ -423,7 +434,11 @@ mod tests {
     fn rejects_malformed() {
         let p = def().flap_parser();
         for input in [&b""[..], b"[Event]", b"1. e4", b"[Event \"x\""] {
-            assert!(p.parse(input).is_err(), "{:?} should fail", String::from_utf8_lossy(input));
+            assert!(
+                p.parse(input).is_err(),
+                "{:?} should fail",
+                String::from_utf8_lossy(input)
+            );
             assert!(reference(input).is_err());
         }
     }

@@ -41,7 +41,10 @@ pub struct Tokens {
 
 /// The stable token handles for this grammar.
 pub fn tokens() -> Tokens {
-    Tokens { magic: Token::from_index(0), int: Token::from_index(1) }
+    Tokens {
+        magic: Token::from_index(0),
+        int: Token::from_index(1),
+    }
 }
 
 /// The PPM lexer: magic, integers, whitespace and `#` comments
@@ -56,8 +59,16 @@ pub fn lexer() -> Lexer {
 }
 
 fn int_acc(lx: &[u8]) -> PpmAcc {
-    let v: i64 = std::str::from_utf8(lx).expect("digits").parse().unwrap_or(i64::MAX);
-    PpmAcc { val: v, count: 1, maxseen: v, ..PpmAcc::default() }
+    let v: i64 = std::str::from_utf8(lx)
+        .expect("digits")
+        .parse()
+        .unwrap_or(i64::MAX);
+    PpmAcc {
+        val: v,
+        count: 1,
+        maxseen: v,
+        ..PpmAcc::default()
+    }
 }
 
 /// The PPM grammar:
@@ -72,9 +83,18 @@ pub fn cfe() -> Cfe<PpmAcc> {
         }))
     });
     Cfe::tok_val(t.magic, PpmAcc::default())
-        .then(Cfe::tok_with(t.int, int_acc), |_, w| PpmAcc { w: w.val, ..PpmAcc::default() })
-        .then(Cfe::tok_with(t.int, int_acc), |acc, h| PpmAcc { h: h.val, ..acc })
-        .then(Cfe::tok_with(t.int, int_acc), |acc, m| PpmAcc { maxval: m.val, ..acc })
+        .then(Cfe::tok_with(t.int, int_acc), |_, w| PpmAcc {
+            w: w.val,
+            ..PpmAcc::default()
+        })
+        .then(Cfe::tok_with(t.int, int_acc), |acc, h| PpmAcc {
+            h: h.val,
+            ..acc
+        })
+        .then(Cfe::tok_with(t.int, int_acc), |acc, m| PpmAcc {
+            maxval: m.val,
+            ..acc
+        })
         .then(samples, |hdr, body| PpmAcc {
             count: body.count,
             maxseen: body.maxseen,
@@ -132,9 +152,15 @@ pub fn reference(input: &[u8]) -> Result<i64, String> {
     let mut nums = Vec::with_capacity(fields.len() - 1);
     for f in &fields[1..] {
         if f.is_empty() || !f.iter().all(u8::is_ascii_digit) {
-            return Err(format!("non-numeric field {:?}", String::from_utf8_lossy(f)));
+            return Err(format!(
+                "non-numeric field {:?}",
+                String::from_utf8_lossy(f)
+            ));
         }
-        let v: i64 = std::str::from_utf8(f).expect("digits").parse().unwrap_or(i64::MAX);
+        let v: i64 = std::str::from_utf8(f)
+            .expect("digits")
+            .parse()
+            .unwrap_or(i64::MAX);
         nums.push(v);
     }
     if nums.len() < 3 {
@@ -177,7 +203,14 @@ pub fn generate(seed: u64, target: usize) -> Vec<u8> {
 
 /// The bundled definition for the benchmark harness.
 pub fn def() -> GrammarDef<PpmAcc> {
-    GrammarDef { name: "ppm", lexer, cfe, finish, generate, reference }
+    GrammarDef {
+        name: "ppm",
+        lexer,
+        cfe,
+        finish,
+        generate,
+        reference,
+    }
 }
 
 #[cfg(test)]
@@ -220,7 +253,11 @@ mod tests {
     #[test]
     fn rejects_lexical_garbage() {
         for input in [&b""[..], b"P6\n1 1 10\n1 2 3\n", b"P3 1 1 10 1 2 x"] {
-            assert!(run(input).is_err(), "{:?} should fail", String::from_utf8_lossy(input));
+            assert!(
+                run(input).is_err(),
+                "{:?} should fail",
+                String::from_utf8_lossy(input)
+            );
             assert!(reference(input).is_err());
         }
     }

@@ -159,7 +159,14 @@ pub fn generate(seed: u64, target: usize) -> Vec<u8> {
 
 /// The bundled definition for the benchmark harness.
 pub fn def() -> GrammarDef<i64> {
-    GrammarDef { name: "sexp", lexer, cfe, finish: |v| v, generate, reference }
+    GrammarDef {
+        name: "sexp",
+        lexer,
+        cfe,
+        finish: |v| v,
+        generate,
+        reference,
+    }
 }
 
 #[cfg(test)]

@@ -85,7 +85,10 @@ pub fn lex_reference(lexer: &mut Lexer, input: &[u8]) -> Result<Vec<Lexeme>, Lex
             // K = { k | r ⇒ k ∈ L'_c ∧ ν(r) } — unique by disjointness.
             let mut nullable = live.iter().filter(|&&(r, _)| ar.nullable(r));
             if let Some(&(_, k)) = nullable.next() {
-                debug_assert!(nullable.next().is_none(), "canonical rules must be disjoint");
+                debug_assert!(
+                    nullable.next().is_none(),
+                    "canonical rules must be disjoint"
+                );
                 best = Some((k, i));
             }
         }
@@ -94,7 +97,11 @@ pub fn lex_reference(lexer: &mut Lexer, input: &[u8]) -> Result<Vec<Lexeme>, Lex
             None => return Err(LexError { pos }),
             Some((LexAction::Skip, end)) => pos = end,
             Some((LexAction::Return(t), end)) => {
-                out.push(Lexeme { token: t, start: pos, end });
+                out.push(Lexeme {
+                    token: t,
+                    start: pos,
+                    end,
+                });
                 pos = end;
             }
         }
@@ -134,7 +141,10 @@ mod tests {
         let eqeq = b.token("eqeq", "==").unwrap();
         let mut lx = b.build().unwrap();
         let toks = lex_reference(&mut lx, b"===").unwrap();
-        assert_eq!(toks.iter().map(|l| l.token).collect::<Vec<_>>(), vec![eqeq, eq]);
+        assert_eq!(
+            toks.iter().map(|l| l.token).collect::<Vec<_>>(),
+            vec![eqeq, eq]
+        );
     }
 
     #[test]
@@ -163,9 +173,15 @@ mod tests {
         // "12." : scanner tries float, fails after the dot, must fall
         // back to int and re-lex the dot.
         let toks = lex_reference(&mut lx, b"12.").unwrap();
-        assert_eq!(toks.iter().map(|l| l.token).collect::<Vec<_>>(), vec![int, dot]);
+        assert_eq!(
+            toks.iter().map(|l| l.token).collect::<Vec<_>>(),
+            vec![int, dot]
+        );
         let toks2 = lex_reference(&mut lx, b"12.5").unwrap();
-        assert_eq!(toks2.iter().map(|l| l.token).collect::<Vec<_>>(), vec![float]);
+        assert_eq!(
+            toks2.iter().map(|l| l.token).collect::<Vec<_>>(),
+            vec![float]
+        );
     }
 
     #[test]
@@ -176,6 +192,9 @@ mod tests {
         b.skip(" ").unwrap();
         let mut lx = b.build().unwrap();
         let toks = lex_reference(&mut lx, b"if iffy fi").unwrap();
-        assert_eq!(toks.iter().map(|l| l.token).collect::<Vec<_>>(), vec![kw, ident, ident]);
+        assert_eq!(
+            toks.iter().map(|l| l.token).collect::<Vec<_>>(),
+            vec![kw, ident, ident]
+        );
     }
 }

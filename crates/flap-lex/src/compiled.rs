@@ -110,8 +110,11 @@ impl CompiledLexer {
         let mut edges: Vec<(u32, Box<[u32; 256]>)> = Vec::new();
         while let Some(vec) = todo.pop() {
             let src = ids[&vec];
-            let live: Vec<RegexId> =
-                vec.iter().copied().filter(|&r| r != RegexArena::EMPTY).collect();
+            let live: Vec<RegexId> = vec
+                .iter()
+                .copied()
+                .filter(|&r| r != RegexArena::EMPTY)
+                .collect();
             let part = cache.classes_of_vector(ar, &live);
             let mut table = Box::new([DEAD; 256]);
             for set in part.sets() {
@@ -133,7 +136,10 @@ impl CompiledLexer {
                 }
             }
         }
-        CompiledLexer { trans, state_count: accepts.len() }
+        CompiledLexer {
+            trans,
+            state_count: accepts.len(),
+        }
     }
 
     /// Number of DFA states.
@@ -177,7 +183,11 @@ impl CompiledLexer {
                 ACC_SKIP => pos = best_end,
                 code => {
                     let t = flap_lex_token_from(code - ACC_TOKEN_BASE);
-                    return Ok(Some(Lexeme { token: t, start: pos, end: best_end }));
+                    return Ok(Some(Lexeme {
+                        token: t,
+                        start: pos,
+                        end: best_end,
+                    }));
                 }
             }
         }
@@ -195,7 +205,12 @@ impl CompiledLexer {
     /// An iterator of lexemes over `input` — the materialized "token
     /// stream" interface whose cost flap exists to eliminate.
     pub fn lexemes<'a, 'b>(&'a self, input: &'b [u8]) -> Lexemes<'a, 'b> {
-        Lexemes { lexer: self, input, pos: 0, failed: false }
+        Lexemes {
+            lexer: self,
+            input,
+            pos: 0,
+            failed: false,
+        }
     }
 }
 
@@ -299,7 +314,10 @@ mod tests {
         let ok = clex.tokenize(b"12.5").unwrap();
         assert_eq!(ok[0].token, float);
         let ok2 = clex.tokenize(b"12.").unwrap();
-        assert_eq!(ok2.iter().map(|l| l.token).collect::<Vec<_>>(), vec![int, dot]);
+        assert_eq!(
+            ok2.iter().map(|l| l.token).collect::<Vec<_>>(),
+            vec![int, dot]
+        );
     }
 
     #[test]
@@ -313,7 +331,10 @@ mod tests {
         let clex = CompiledLexer::build(&mut lx);
         let input = b"\"a\"\"b\",\"c\"";
         let toks = clex.tokenize(input).unwrap();
-        assert_eq!(toks.iter().map(|l| l.token).collect::<Vec<_>>(), vec![field, comma, field]);
+        assert_eq!(
+            toks.iter().map(|l| l.token).collect::<Vec<_>>(),
+            vec![field, comma, field]
+        );
         assert_eq!(toks[0].bytes(input), b"\"a\"\"b\"");
     }
 

@@ -77,7 +77,10 @@ impl fmt::Display for LexBuildError {
                 write!(f, "lexer rule for {name} matches the empty string")
             }
             LexBuildError::ShadowedRule { name } => {
-                write!(f, "lexer rule for {name} is completely shadowed by earlier rules")
+                write!(
+                    f,
+                    "lexer rule for {name} is completely shadowed by earlier rules"
+                )
             }
             LexBuildError::DuplicateToken { name } => {
                 write!(f, "token {name} declared more than once")
@@ -124,7 +127,11 @@ pub struct LexerBuilder {
 impl LexerBuilder {
     /// Creates an empty builder with a fresh regex arena.
     pub fn new() -> Self {
-        LexerBuilder { arena: RegexArena::new(), raw_rules: Vec::new(), token_names: Vec::new() }
+        LexerBuilder {
+            arena: RegexArena::new(),
+            raw_rules: Vec::new(),
+            token_names: Vec::new(),
+        }
     }
 
     /// The regex arena used by this builder, for constructing regexes
@@ -157,7 +164,9 @@ impl LexerBuilder {
     /// from [`LexerBuilder::arena_mut`]).
     pub fn token_regex(&mut self, name: &str, regex: RegexId) -> Result<Token, LexBuildError> {
         if self.token_names.iter().any(|n| n == name) {
-            return Err(LexBuildError::DuplicateToken { name: name.to_string() });
+            return Err(LexBuildError::DuplicateToken {
+                name: name.to_string(),
+            });
         }
         if self.token_names.len() >= crate::TokenSet::CAPACITY {
             return Err(LexBuildError::TooManyTokens);
@@ -202,7 +211,9 @@ impl LexerBuilder {
         // 1. Enforce non-nullability up front.
         for (r, action) in &self.raw_rules {
             if self.arena.nullable(*r) {
-                return Err(LexBuildError::NullableRule { name: self.rule_name(*action) });
+                return Err(LexBuildError::NullableRule {
+                    name: self.rule_name(*action),
+                });
             }
         }
         // 2. Left-disjointness: subtract all earlier rules from each
@@ -213,7 +224,9 @@ impl LexerBuilder {
         for (r, action) in raw {
             let canon = self.arena.minus(r, seen);
             if is_empty_lang(&mut self.arena, canon) {
-                return Err(LexBuildError::ShadowedRule { name: self.rule_name(action) });
+                return Err(LexBuildError::ShadowedRule {
+                    name: self.rule_name(action),
+                });
             }
             seen = self.arena.alt(seen, r);
             disjoint.push((canon, action));
@@ -232,15 +245,25 @@ impl LexerBuilder {
         let mut rules: Vec<Rule> = per_token
             .iter()
             .enumerate()
-            .map(|(i, &regex)| Rule { regex, action: LexAction::Return(Token(i as u32)) })
+            .map(|(i, &regex)| Rule {
+                regex,
+                action: LexAction::Return(Token(i as u32)),
+            })
             .collect();
         if skip != RegexArena::EMPTY {
-            rules.push(Rule { regex: skip, action: LexAction::Skip });
+            rules.push(Rule {
+                regex: skip,
+                action: LexAction::Skip,
+            });
         }
         Ok(Lexer {
             arena: self.arena,
             rules,
-            skip: if skip == RegexArena::EMPTY { None } else { Some(skip) },
+            skip: if skip == RegexArena::EMPTY {
+                None
+            } else {
+                Some(skip)
+            },
             token_names: self.token_names,
         })
     }

@@ -83,7 +83,10 @@ impl TokenSet {
     /// Panics if the token index exceeds [`TokenSet::CAPACITY`].
     pub fn insert(&mut self, t: Token) {
         let i = t.index();
-        assert!(i < Self::CAPACITY, "token index {i} exceeds TokenSet capacity");
+        assert!(
+            i < Self::CAPACITY,
+            "token index {i} exceeds TokenSet capacity"
+        );
         self.words[i >> 6] |= 1u64 << (i & 63);
     }
 
@@ -106,8 +109,8 @@ impl TokenSet {
     /// Set union.
     pub fn union(&self, other: &TokenSet) -> TokenSet {
         let mut w = self.words;
-        for i in 0..4 {
-            w[i] |= other.words[i];
+        for (a, b) in w.iter_mut().zip(&other.words) {
+            *a |= b;
         }
         TokenSet { words: w }
     }
@@ -115,8 +118,8 @@ impl TokenSet {
     /// Set intersection.
     pub fn intersect(&self, other: &TokenSet) -> TokenSet {
         let mut w = self.words;
-        for i in 0..4 {
-            w[i] &= other.words[i];
+        for (a, b) in w.iter_mut().zip(&other.words) {
+            *a &= b;
         }
         TokenSet { words: w }
     }

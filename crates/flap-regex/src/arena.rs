@@ -635,6 +635,10 @@ mod tests {
                 }
             }
         }
-        assert!(seen.len() < 16, "derivative closure too large: {}", seen.len());
+        assert!(
+            seen.len() < 16,
+            "derivative closure too large: {}",
+            seen.len()
+        );
     }
 }

@@ -33,7 +33,9 @@ impl ByteSet {
     pub const EMPTY: ByteSet = ByteSet { words: [0; 4] };
 
     /// The full alphabet: every byte value.
-    pub const ALL: ByteSet = ByteSet { words: [u64::MAX; 4] };
+    pub const ALL: ByteSet = ByteSet {
+        words: [u64::MAX; 4],
+    };
 
     /// Creates an empty set.
     pub fn new() -> Self {
@@ -108,8 +110,8 @@ impl ByteSet {
     /// Set union.
     pub fn union(&self, other: &ByteSet) -> ByteSet {
         let mut w = self.words;
-        for i in 0..4 {
-            w[i] |= other.words[i];
+        for (a, b) in w.iter_mut().zip(&other.words) {
+            *a |= b;
         }
         ByteSet { words: w }
     }
@@ -117,8 +119,8 @@ impl ByteSet {
     /// Set intersection.
     pub fn intersect(&self, other: &ByteSet) -> ByteSet {
         let mut w = self.words;
-        for i in 0..4 {
-            w[i] &= other.words[i];
+        for (a, b) in w.iter_mut().zip(&other.words) {
+            *a &= b;
         }
         ByteSet { words: w }
     }
@@ -126,8 +128,8 @@ impl ByteSet {
     /// Set difference (`self \ other`).
     pub fn difference(&self, other: &ByteSet) -> ByteSet {
         let mut w = self.words;
-        for i in 0..4 {
-            w[i] &= !other.words[i];
+        for (a, b) in w.iter_mut().zip(&other.words) {
+            *a &= !b;
         }
         ByteSet { words: w }
     }
@@ -167,7 +169,11 @@ impl ByteSet {
 
     /// Iterates over the members in increasing order.
     pub fn iter(&self) -> Iter<'_> {
-        Iter { set: self, next: 0, done: false }
+        Iter {
+            set: self,
+            next: 0,
+            done: false,
+        }
     }
 }
 
@@ -358,6 +364,9 @@ mod tests {
         assert_eq!(ByteSet::range(b'a', b'z').to_string(), "[a-z]");
         assert_eq!(ByteSet::single(b'(').to_string(), "[(]");
         assert_eq!(ByteSet::ALL.to_string(), ".");
-        assert!(ByteSet::single(b'x').complement().to_string().starts_with("[^"));
+        assert!(ByteSet::single(b'x')
+            .complement()
+            .to_string()
+            .starts_with("[^"));
     }
 }

@@ -27,7 +27,9 @@ pub struct Partition {
 impl Partition {
     /// The trivial partition `{Σ}`.
     pub fn trivial() -> Self {
-        Partition { sets: vec![ByteSet::ALL] }
+        Partition {
+            sets: vec![ByteSet::ALL],
+        }
     }
 
     /// The partition `{S, Σ∖S}` induced by a single set (empty halves
@@ -82,7 +84,9 @@ impl Partition {
 
     /// Iterates over `(representative byte, class)` pairs.
     pub fn reps(&self) -> impl Iterator<Item = (u8, &ByteSet)> {
-        self.sets.iter().map(|s| (s.min_byte().expect("partition classes are non-empty"), s))
+        self.sets
+            .iter()
+            .map(|s| (s.min_byte().expect("partition classes are non-empty"), s))
     }
 
     #[cfg(test)]
@@ -214,7 +218,11 @@ mod tests {
                 let rep = set.min_byte().unwrap();
                 let dr = ar.deriv(target, rep);
                 for b in set.iter() {
-                    assert_eq!(ar.deriv(target, b), dr, "class member disagrees at byte {b}");
+                    assert_eq!(
+                        ar.deriv(target, b),
+                        dr,
+                        "class member disagrees at byte {b}"
+                    );
                 }
             }
         }

@@ -57,10 +57,10 @@ impl Dfa {
         let mut worklist: Vec<RegexId> = Vec::new();
 
         let get_state = |r: RegexId,
-                             states: &mut Vec<DfaState>,
-                             worklist: &mut Vec<RegexId>,
-                             ar: &RegexArena,
-                             ids: &mut HashMap<RegexId, u32>| {
+                         states: &mut Vec<DfaState>,
+                         worklist: &mut Vec<RegexId>,
+                         ar: &RegexArena,
+                         ids: &mut HashMap<RegexId, u32>| {
             *ids.entry(r).or_insert_with(|| {
                 let id = states.len() as u32;
                 states.push(DfaState {
@@ -120,7 +120,11 @@ impl Dfa {
     /// or `None` if no prefix (not even the empty one) matches.
     pub fn longest_match(&self, input: &[u8]) -> Option<usize> {
         let mut st = 0u32;
-        let mut best = if self.states[0].accepting { Some(0) } else { None };
+        let mut best = if self.states[0].accepting {
+            Some(0)
+        } else {
+            None
+        };
         for (i, &b) in input.iter().enumerate() {
             st = self.states[st as usize].next[b as usize];
             if self.states[st as usize].accepting {
@@ -212,9 +216,22 @@ mod tests {
         let num = ar.seq(int, ot);
         let dfa = Dfa::build(&mut ar, num);
         for w in [
-            &b"1"[..], b"12.5", b"", b".", b"3.", b"3.14159", b"00.00", b"1a", b"a",
+            &b"1"[..],
+            b"12.5",
+            b"",
+            b".",
+            b"3.",
+            b"3.14159",
+            b"00.00",
+            b"1a",
+            b"a",
         ] {
-            assert_eq!(dfa.matches(w), ar.matches(num, w), "disagreement on {:?}", w);
+            assert_eq!(
+                dfa.matches(w),
+                ar.matches(num, w),
+                "disagreement on {:?}",
+                w
+            );
         }
     }
 

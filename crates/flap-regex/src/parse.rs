@@ -65,7 +65,11 @@ impl RegexArena {
     /// assert!(!ar.matches(r, b"9starts_with_digit"));
     /// ```
     pub fn parse(&mut self, pattern: &str) -> Result<RegexId, RegexParseError> {
-        let mut p = Parser { input: pattern.as_bytes(), pos: 0, ar: self };
+        let mut p = Parser {
+            input: pattern.as_bytes(),
+            pos: 0,
+            ar: self,
+        };
         let r = p.alternation()?;
         if p.pos != p.input.len() {
             return Err(p.err("unexpected trailing input"));
@@ -76,7 +80,10 @@ impl RegexArena {
 
 impl<'a, 'ar> Parser<'a, 'ar> {
     fn err(&self, msg: &str) -> RegexParseError {
-        RegexParseError { pos: self.pos, msg: msg.to_string() }
+        RegexParseError {
+            pos: self.pos,
+            msg: msg.to_string(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -248,7 +255,9 @@ mod tests {
 
     fn accepts(pattern: &str, yes: &[&[u8]], no: &[&[u8]]) {
         let mut ar = RegexArena::new();
-        let r = ar.parse(pattern).unwrap_or_else(|e| panic!("{pattern}: {e}"));
+        let r = ar
+            .parse(pattern)
+            .unwrap_or_else(|e| panic!("{pattern}: {e}"));
         for w in yes {
             assert!(ar.matches(r, w), "{pattern} should match {:?}", w);
         }

@@ -22,7 +22,7 @@
 //! build-script user can compile ahead of time.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use flap_cfe::TokAction;
 use flap_dgnf::Reduce;
@@ -108,7 +108,9 @@ impl<V> CompiledParser<V> {
     /// against the lexer's regex arena; the resulting parser is
     /// self-contained.
     pub fn compile(lexer: &mut Lexer, fused: &FusedGrammar<V>) -> CompiledParser<V> {
-        let skip = lexer.skip_regex().map(|r| flap_regex::Dfa::build(lexer.arena_mut(), r));
+        let skip = lexer
+            .skip_regex()
+            .map(|r| flap_regex::Dfa::build(lexer.arena_mut(), r));
         let mut c = Compiler {
             arena: lexer.arena_mut(),
             cache: ClassCache::new(),
@@ -128,9 +130,11 @@ impl<V> CompiledParser<V> {
             for p in &entry.prods {
                 let flat = prods.len() as u32;
                 match &p.token {
-                    None => prods.push(CompiledProd::Skip { nt: nt.index() as u32 }),
+                    None => prods.push(CompiledProd::Skip {
+                        nt: nt.index() as u32,
+                    }),
                     Some(t) => prods.push(CompiledProd::Token {
-                        tok_action: Rc::clone(&t.tok_action),
+                        tok_action: Arc::clone(&t.tok_action),
                         reduce: t.reduce.clone(),
                         tail: t.tail.iter().map(|m| m.index() as u32).collect(),
                     }),
@@ -144,7 +148,11 @@ impl<V> CompiledParser<V> {
         // One start state per nonterminal: k = back iff it has ε.
         let mut nt_start = Vec::with_capacity(nt_count);
         for nt in 0..nt_count {
-            let k = if eps[nt].is_some() { StopAction::Eps(nt as u32) } else { StopAction::Fail };
+            let k = if eps[nt].is_some() {
+                StopAction::Eps(nt as u32)
+            } else {
+                StopAction::Fail
+            };
             let id = c.intern(per_nt_prods[nt].clone(), k);
             nt_start.push(id);
         }
@@ -177,7 +185,6 @@ impl<V> CompiledParser<V> {
     pub fn state_count(&self) -> usize {
         self.states.len()
     }
-
 }
 
 struct Compiler<'a> {
@@ -196,7 +203,11 @@ impl Compiler<'_> {
             return id;
         }
         let id = self.states.len() as u32;
-        self.states.push(State { next: Box::new([STOP; 256]), stop: k, classes: Vec::new() });
+        self.states.push(State {
+            next: Box::new([STOP; 256]),
+            stop: k,
+            classes: Vec::new(),
+        });
         self.memo.insert((live.clone(), k), id);
         self.worklist.push((live, id));
         id

@@ -9,9 +9,13 @@
 //!   function `S_{F_n,k}` of Fig 10 (memoized on the derivative
 //!   vector and continuation), with a dense byte-indexed transition
 //!   table and a statically-known stop action per state;
-//! * [`CompiledParser::parse`] / [`CompiledParser::recognize`]
+//! * [`CompiledParser::parse_with`] / [`CompiledParser::recognize`]
 //!   execute the tables with a per-character cost of one load and
 //!   one jump — the Rust analogue of flap's generated OCaml;
+//! * [`ParseSession`] holds all per-parse mutable state (control and
+//!   value stacks), so a compiled parser is immutable and
+//!   `Send + Sync`: share one parser across threads, give each thread
+//!   its own session, and steady-state parsing allocates nothing;
 //! * [`codegen::emit_rust`] prints the states as compilable Rust
 //!   source, reproducing the generated-code excerpt of §5.5;
 //! * [`measure_pipeline`] collects the Table 1 size columns and the
@@ -44,6 +48,43 @@
 //! assert_eq!(parser.parse(b"1 + 2 + 39")?, 42);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! # Session reuse
+//!
+//! [`CompiledParser::parse`] allocates fresh stacks per call, which is
+//! fine for one-off parses. Anything that parses in a loop — servers,
+//! benchmarks, batch jobs — should create one [`ParseSession`] per
+//! worker and pass it to [`CompiledParser::parse_with`]: after the
+//! first few parses grow the stacks to the workload's high-water mark,
+//! the hot path performs zero allocations. Sessions are plain owned
+//! values; one per thread, no synchronization:
+//!
+//! ```
+//! # use flap_cfe::Cfe;
+//! # use flap_dgnf::normalize;
+//! # use flap_fuse::fuse;
+//! # use flap_lex::LexerBuilder;
+//! # use flap_staged::{CompiledParser, ParseSession};
+//! # let mut b = LexerBuilder::new();
+//! # let num = b.token("num", "[0-9]+")?;
+//! # let mut lexer = b.build()?;
+//! # let g: Cfe<i64> = Cfe::tok_with(num, |lx| lx.len() as i64);
+//! # let fused = fuse(&mut lexer, &normalize(&g)?)?;
+//! # let parser = CompiledParser::compile(&mut lexer, &fused);
+//! # let batch: Vec<&[u8]> = vec![b"12", b"345"];
+//! let parser = &parser; // shared: CompiledParser is Send + Sync
+//! std::thread::scope(|scope| {
+//!     for chunk in batch.chunks(1) {
+//!         scope.spawn(move || {
+//!             let mut session = ParseSession::new(); // one per thread
+//!             for input in chunk {
+//!                 let _ = parser.parse_with(&mut session, input);
+//!             }
+//!         });
+//!     }
+//! });
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 #![warn(missing_docs)]
 
@@ -54,3 +95,4 @@ mod vm;
 
 pub use compile::{CompiledParser, State, StopAction};
 pub use metrics::{measure_pipeline, CompileTimes, SizeReport};
+pub use vm::ParseSession;

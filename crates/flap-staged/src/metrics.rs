@@ -50,6 +50,17 @@ impl CompileTimes {
     }
 }
 
+/// Everything [`measure_pipeline`] produces: the normalized grammar,
+/// the fused grammar, the compiled parser, and the Table 1 / Table 2
+/// measurements.
+pub type PipelineArtifacts<V> = (
+    Grammar<V>,
+    FusedGrammar<V>,
+    CompiledParser<V>,
+    SizeReport,
+    CompileTimes,
+);
+
 /// Runs the full pipeline on one grammar, returning every
 /// intermediate stage together with sizes and timings.
 ///
@@ -60,7 +71,7 @@ impl CompileTimes {
 pub fn measure_pipeline<V: 'static>(
     lexer: &mut Lexer,
     cfe: &Cfe<V>,
-) -> Result<(Grammar<V>, FusedGrammar<V>, CompiledParser<V>, SizeReport, CompileTimes), String> {
+) -> Result<PipelineArtifacts<V>, String> {
     let mut times = CompileTimes::default();
 
     let t0 = Instant::now();
@@ -106,8 +117,7 @@ mod tests {
         let rpar = b.token("rpar", r"\)").unwrap();
         let mut lexer = b.build().unwrap();
         let sexp: Cfe<i64> = Cfe::fix(|sexp| {
-            let sexps =
-                Cfe::fix(|sexps| Cfe::eps_with(|| 0).or(sexp.then(sexps, |a, b| a + b)));
+            let sexps = Cfe::fix(|sexps| Cfe::eps_with(|| 0).or(sexp.then(sexps, |a, b| a + b)));
             Cfe::tok_val(lpar, 0)
                 .then(sexps, |_, n| n)
                 .then(Cfe::tok_val(rpar, 0), |n, _| n)

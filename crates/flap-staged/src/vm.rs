@@ -7,26 +7,107 @@
 //! stack instead of making nested calls, so deeply nested inputs
 //! cannot overflow the machine stack.
 //!
-//! Steady-state parsing performs no allocation: the control stack,
-//! value stack and all tables are reused or preallocated, and
-//! semantic values are built only by the user's own actions — the
-//! "no allocation, except where these elements are inserted by the
-//! user" property of §2.8.
+//! ### Allocation discipline
+//!
+//! All tables are preallocated at compile time, and all *per-parse*
+//! mutable state — the control stack and the value stack — lives in a
+//! caller-owned [`ParseSession`]. Parsing through
+//! [`CompiledParser::parse_with`] with a reused session performs no
+//! allocation on the hot path once the session's stacks have grown to
+//! the workload's high-water mark; semantic values are built only by
+//! the user's own actions — the "no allocation, except where these
+//! elements are inserted by the user" property of §2.8. The
+//! convenience [`CompiledParser::parse`] allocates a fresh session per
+//! call; servers and benchmarks should hold one session per worker
+//! thread and reuse it.
 
-use flap_fuse::FusedParseError;
+use flap_fuse::{line_col, FusedParseError};
 
 use crate::compile::{CompiledParser, CompiledProd, StopAction, STOP};
 
 /// Control-stack entry: parse a nonterminal, or run a production's
 /// reduce.
 #[derive(Clone, Copy)]
-enum Ctl {
+pub(crate) enum Ctl {
     Nt(u32),
     Reduce(u32),
 }
 
+/// Caller-owned per-parse scratch state: the control stack and the
+/// value stack of the Fig 10 machine.
+///
+/// A [`CompiledParser`] is immutable (and `Send + Sync`) after
+/// compilation; every piece of state that parsing mutates lives here
+/// instead. Reusing one session across parses makes the steady state
+/// allocation-free, and giving each thread its own session lets one
+/// parser serve any number of threads concurrently:
+///
+/// ```
+/// use flap_cfe::Cfe;
+/// use flap_dgnf::normalize;
+/// use flap_fuse::fuse;
+/// use flap_lex::LexerBuilder;
+/// use flap_staged::{CompiledParser, ParseSession};
+///
+/// let mut b = LexerBuilder::new();
+/// let num = b.token("num", "[0-9]+")?;
+/// let mut lexer = b.build()?;
+/// let g: Cfe<i64> = Cfe::tok_with(num, |lx| lx.len() as i64);
+/// let fused = fuse(&mut lexer, &normalize(&g)?)?;
+/// let parser = CompiledParser::compile(&mut lexer, &fused);
+///
+/// let mut session = ParseSession::new();
+/// for input in [&b"123"[..], b"7", b"999999"] {
+///     let n = parser.parse_with(&mut session, input)?;
+///     assert_eq!(n, input.len() as i64);
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct ParseSession<V> {
+    pub(crate) control: Vec<Ctl>,
+    pub(crate) values: Vec<V>,
+}
+
+impl<V> ParseSession<V> {
+    /// An empty session; stacks grow on first use and are then
+    /// retained across parses.
+    pub fn new() -> Self {
+        ParseSession {
+            control: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// A session with preallocated stacks, for callers that know the
+    /// nesting depth of their workload and want the very first parse
+    /// to be allocation-free too.
+    pub fn with_capacity(control: usize, values: usize) -> Self {
+        ParseSession {
+            control: Vec::with_capacity(control),
+            values: Vec::with_capacity(values),
+        }
+    }
+
+    /// Current capacity of the (control, value) stacks — the
+    /// high-water mark of past parses. Exposed so tests can assert
+    /// steady-state behaviour.
+    pub fn capacities(&self) -> (usize, usize) {
+        (self.control.capacity(), self.values.capacity())
+    }
+}
+
+impl<V> Default for ParseSession<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl<V> CompiledParser<V> {
     /// Parses the whole input, returning the semantic value.
+    ///
+    /// Convenience wrapper over [`CompiledParser::parse_with`] that
+    /// allocates a fresh [`ParseSession`] per call. Loops that parse
+    /// many inputs should create one session and reuse it.
     ///
     /// Trailing skippable input (e.g. final whitespace) is consumed
     /// after the start symbol completes.
@@ -36,14 +117,35 @@ impl<V> CompiledParser<V> {
     /// [`FusedParseError`] — the same error type as the unstaged
     /// fused parser, so the two can be compared differentially.
     pub fn parse(&self, input: &[u8]) -> Result<V, FusedParseError> {
-        let mut values: Vec<V> = Vec::new();
-        let mut control: Vec<Ctl> = vec![Ctl::Nt(self.start_nt)];
+        self.parse_with(&mut ParseSession::new(), input)
+    }
+
+    /// Parses the whole input using caller-owned scratch state — the
+    /// allocation-free entry point.
+    ///
+    /// `&self` is shared: one compiled parser can run concurrently on
+    /// any number of threads, each holding its own session. The
+    /// session is cleared on entry, so sessions can be reused freely
+    /// after both successful and failed parses.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CompiledParser::parse`].
+    pub fn parse_with(
+        &self,
+        session: &mut ParseSession<V>,
+        input: &[u8],
+    ) -> Result<V, FusedParseError> {
+        let ParseSession { control, values } = session;
+        control.clear();
+        values.clear();
+        control.push(Ctl::Nt(self.start_nt));
         let mut pos = 0usize;
 
         while let Some(ctl) = control.pop() {
             match ctl {
                 Ctl::Reduce(p) => match &self.prods[p as usize] {
-                    CompiledProd::Token { reduce, .. } => reduce.run(&mut values),
+                    CompiledProd::Token { reduce, .. } => reduce.run(values),
                     CompiledProd::Skip { .. } => unreachable!("skip has no reduce"),
                 },
                 Ctl::Nt(nt) => {
@@ -71,8 +173,11 @@ impl<V> CompiledParser<V> {
                         };
                         match stop {
                             StopAction::Fail => {
+                                let (line, col) = line_col(input, tok_start);
                                 return Err(FusedParseError::NoMatch {
                                     pos: tok_start,
+                                    line,
+                                    col,
                                     nt: flap_dgnf::NtId::from_index(nt as usize),
                                 });
                             }
@@ -80,7 +185,7 @@ impl<V> CompiledParser<V> {
                                 let eps = self.eps[n as usize]
                                     .as_ref()
                                     .expect("Eps stop action implies an ε rule");
-                                eps.run(&mut values);
+                                eps.run(values);
                                 pos = tok_start;
                                 break 'token;
                             }
@@ -88,7 +193,11 @@ impl<V> CompiledParser<V> {
                                 pos = rs;
                                 match &self.prods[p as usize] {
                                     CompiledProd::Skip { .. } => continue 'token,
-                                    CompiledProd::Token { tok_action, tail, reduce } => {
+                                    CompiledProd::Token {
+                                        tok_action,
+                                        tail,
+                                        reduce,
+                                    } => {
                                         values.push(tok_action(&input[tok_start..rs]));
                                         // identity reductions (plain
                                         // `n → t`) need no round trip
@@ -109,7 +218,8 @@ impl<V> CompiledParser<V> {
         }
         pos = self.trailing(input, pos);
         if pos != input.len() {
-            return Err(FusedParseError::TrailingInput { pos });
+            let (line, col) = line_col(input, pos);
+            return Err(FusedParseError::TrailingInput { pos, line, col });
         }
         debug_assert_eq!(values.len(), 1, "parse must produce exactly one value");
         Ok(values.pop().expect("parse produced no value"))
@@ -148,8 +258,11 @@ impl<V> CompiledParser<V> {
                 };
                 match stop {
                     StopAction::Fail => {
+                        let (line, col) = line_col(input, tok_start);
                         return Err(FusedParseError::NoMatch {
                             pos: tok_start,
+                            line,
+                            col,
                             nt: flap_dgnf::NtId::from_index(nt as usize),
                         });
                     }
@@ -174,7 +287,8 @@ impl<V> CompiledParser<V> {
         }
         pos = self.trailing(input, pos);
         if pos != input.len() {
-            return Err(FusedParseError::TrailingInput { pos });
+            let (line, col) = line_col(input, pos);
+            return Err(FusedParseError::TrailingInput { pos, line, col });
         }
         Ok(())
     }
@@ -208,8 +322,7 @@ mod tests {
         let rpar = b.token("rpar", r"\)").unwrap();
         let mut lexer = b.build().unwrap();
         let sexp: Cfe<i64> = Cfe::fix(|sexp| {
-            let sexps =
-                Cfe::fix(|sexps| Cfe::eps_with(|| 0).or(sexp.then(sexps, |a, b| a + b)));
+            let sexps = Cfe::fix(|sexps| Cfe::eps_with(|| 0).or(sexp.then(sexps, |a, b| a + b)));
             Cfe::tok_val(lpar, 0)
                 .then(sexps, |_, n| n)
                 .then(Cfe::tok_val(rpar, 0), |n, _| n)
@@ -229,6 +342,44 @@ mod tests {
         assert_eq!(p.parse(b"(a b c)").unwrap(), 3);
         assert_eq!(p.parse(b"(a (b (c d)) e)").unwrap(), 5);
         assert_eq!(p.parse(b"  ( a\n(b) )  ").unwrap(), 2);
+    }
+
+    #[test]
+    fn session_reuse_agrees_with_fresh_parses() {
+        let p = sexp_parser();
+        let mut session = ParseSession::new();
+        for input in [
+            &b"(a (b c))"[..],
+            b"a",
+            b"(x)",
+            b"(a", // error in the middle of the sequence
+            b"(a b c d e)",
+            b"", // another error
+            b"((((x))))",
+        ] {
+            assert_eq!(
+                p.parse_with(&mut session, input),
+                p.parse(input),
+                "on {input:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn session_stacks_reach_steady_state() {
+        let p = sexp_parser();
+        let mut session = ParseSession::new();
+        let input = b"(a (b (c d)) e)";
+        p.parse_with(&mut session, input).unwrap();
+        let caps = session.capacities();
+        for _ in 0..100 {
+            p.parse_with(&mut session, input).unwrap();
+        }
+        assert_eq!(
+            session.capacities(),
+            caps,
+            "stacks must not regrow on repeats"
+        );
     }
 
     #[test]
@@ -284,8 +435,7 @@ mod tests {
         let lpar = flap_lex::Token::from_index(1);
         let rpar = flap_lex::Token::from_index(2);
         let sexp: Cfe<i64> = Cfe::fix(|sexp| {
-            let sexps =
-                Cfe::fix(|sexps| Cfe::eps_with(|| 0).or(sexp.then(sexps, |a, b| a + b)));
+            let sexps = Cfe::fix(|sexps| Cfe::eps_with(|| 0).or(sexp.then(sexps, |a, b| a + b)));
             Cfe::tok_val(lpar, 0)
                 .then(sexps, |_, n| n)
                 .then(Cfe::tok_val(rpar, 0), |n, _| n)

@@ -18,14 +18,20 @@ fn ambiguous_alternatives_are_type_errors() {
         Err(CompileError::Type(TypeError::NotApart { overlap, .. })) => {
             assert!(overlap.contains(a));
         }
-        other => panic!("expected NotApart, got {:?}", other.err().map(|e| e.to_string())),
+        other => panic!(
+            "expected NotApart, got {:?}",
+            other.err().map(|e| e.to_string())
+        ),
     }
 }
 
 #[test]
 fn left_recursion_is_a_type_error() {
     let (lexer, a, _) = lexer_ab();
-    let g: Cfe<i64> = Cfe::fix(|x| x.then(Cfe::tok_val(a, 1), |p, q| p + q).or(Cfe::tok_val(a, 1)));
+    let g: Cfe<i64> = Cfe::fix(|x| {
+        x.then(Cfe::tok_val(a, 1), |p, q| p + q)
+            .or(Cfe::tok_val(a, 1))
+    });
     assert!(matches!(
         Parser::compile(lexer, &g),
         Err(CompileError::Type(TypeError::LeftRecursion { .. }))
@@ -38,7 +44,10 @@ fn nullable_seq_head_is_a_type_error() {
     let g: Cfe<i64> = Cfe::eps(0).then(Cfe::tok_val(a, 1), |p, q| p + q);
     assert!(matches!(
         Parser::compile(lexer, &g),
-        Err(CompileError::Type(TypeError::NotSeparable { left_nullable: true, .. }))
+        Err(CompileError::Type(TypeError::NotSeparable {
+            left_nullable: true,
+            ..
+        }))
     ));
 }
 
@@ -47,13 +56,17 @@ fn ambiguous_sequencing_is_a_type_error() {
     // (a·z?)·z — after an optional z, a mandatory z is ambiguous
     let (lexer, a, z) = lexer_ab();
     let opt_z = Cfe::opt(Cfe::tok_val(z, 0), || 0);
-    let g: Cfe<i64> =
-        Cfe::tok_val(a, 0).then(opt_z, |p, q| p + q).then(Cfe::tok_val(z, 0), |p, q| p + q);
+    let g: Cfe<i64> = Cfe::tok_val(a, 0)
+        .then(opt_z, |p, q| p + q)
+        .then(Cfe::tok_val(z, 0), |p, q| p + q);
     match Parser::compile(lexer, &g) {
         Err(CompileError::Type(TypeError::NotSeparable { overlap, .. })) => {
             assert!(overlap.contains(z));
         }
-        other => panic!("expected NotSeparable, got {:?}", other.err().map(|e| e.to_string())),
+        other => panic!(
+            "expected NotSeparable, got {:?}",
+            other.err().map(|e| e.to_string())
+        ),
     }
 }
 
@@ -78,8 +91,17 @@ fn parse_errors_carry_byte_positions() {
         other => panic!("expected NoMatch, got {other:?}"),
     }
     match parser.parse(b"{} trailing") {
-        Err(flap::ParseError::TrailingInput { pos }) => assert_eq!(pos, 3),
+        Err(flap::ParseError::TrailingInput { pos, line, col }) => {
+            assert_eq!((pos, line, col), (3, 1, 4));
+        }
         other => panic!("expected TrailingInput, got {other:?}"),
+    }
+    // multi-line input: line/column point at the failure, not byte 0
+    match parser.parse(b"{\n  \"a\": }") {
+        Err(flap::ParseError::NoMatch { pos, line, col, .. }) => {
+            assert_eq!((pos, line, col), (9, 2, 8));
+        }
+        other => panic!("expected NoMatch, got {other:?}"),
     }
 }
 

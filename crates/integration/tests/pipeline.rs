@@ -75,8 +75,7 @@ fn fig12_linearity_smoke() {
         best
     };
     let (ts, tl) = (time(&small), time(&large));
-    let per_byte_ratio =
-        (tl / large.len() as f64) / (ts / small.len() as f64);
+    let per_byte_ratio = (tl / large.len() as f64) / (ts / small.len() as f64);
     assert!(
         per_byte_ratio < 3.0,
         "per-byte time grew {per_byte_ratio:.2}x from 0.4MB to 1.6MB — not linear"
@@ -123,7 +122,10 @@ fn typed_facade_roundtrips_through_the_pipeline() {
     });
     // the `or bot` arm is degenerate; simpler: just one-or-more via star
     let _ = prog;
-    let simple = stmt.clone().then(star(stmt)).map(|(h, t)| h + t.iter().sum::<u64>());
+    let simple = stmt
+        .clone()
+        .then(star(stmt))
+        .map(|(h, t)| h + t.iter().sum::<u64>());
     let p = simple.compile(lexer).unwrap();
     assert_eq!(p.parse(b"1; 2; 39;").unwrap(), 42);
     assert!(p.parse(b"1; 2").is_err());

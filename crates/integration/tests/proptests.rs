@@ -1,9 +1,16 @@
-//! Property-based tests (proptest) on the substrate layers: regex
+//! Randomized property tests on the substrate layers: regex
 //! derivatives, DFA agreement, and lexer longest-match.
+//!
+//! Originally written against `proptest`; the hermetic build
+//! environment has no crates.io access, so the same properties are
+//! driven by the seeded `rand` shim instead (structural generation,
+//! fixed seeds, no shrinking — failures print the offending case).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use flap_lex::{lex_reference, CompiledLexer, LexerBuilder};
 use flap_regex::{ByteSet, Dfa, RegexArena, RegexId};
-use proptest::prelude::*;
 
 /// A tiny regex AST we can generate structurally, then intern.
 #[derive(Clone, Debug)]
@@ -18,21 +25,39 @@ enum Rx {
     Not(Box<Rx>),
 }
 
-fn rx_strategy() -> impl Strategy<Value = Rx> {
-    let leaf = prop_oneof![
-        Just(Rx::Eps),
-        (b'a'..=b'd').prop_map(Rx::Byte),
-        (b'a'..=b'd', b'a'..=b'd').prop_map(|(x, y)| Rx::Class(x.min(y), x.max(y))),
-    ];
-    leaf.prop_recursive(3, 24, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Rx::Seq(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Rx::Alt(Box::new(a), Box::new(b))),
-            inner.clone().prop_map(|a| Rx::Star(Box::new(a))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Rx::And(Box::new(a), Box::new(b))),
-            inner.prop_map(|a| Rx::Not(Box::new(a))),
-        ]
-    })
+/// Generates a random regex of depth ≤ `depth` over the bytes a–d.
+fn random_rx(rng: &mut StdRng, depth: usize) -> Rx {
+    if depth == 0 || rng.random_bool(0.3) {
+        return match rng.random_range(0..3) {
+            0 => Rx::Eps,
+            1 => Rx::Byte(rng.random_range(b'a'..=b'd')),
+            _ => {
+                let (x, y) = (rng.random_range(b'a'..=b'd'), rng.random_range(b'a'..=b'd'));
+                Rx::Class(x.min(y), x.max(y))
+            }
+        };
+    }
+    match rng.random_range(0..5) {
+        0 => Rx::Seq(
+            Box::new(random_rx(rng, depth - 1)),
+            Box::new(random_rx(rng, depth - 1)),
+        ),
+        1 => Rx::Alt(
+            Box::new(random_rx(rng, depth - 1)),
+            Box::new(random_rx(rng, depth - 1)),
+        ),
+        2 => Rx::Star(Box::new(random_rx(rng, depth - 1))),
+        3 => Rx::And(
+            Box::new(random_rx(rng, depth - 1)),
+            Box::new(random_rx(rng, depth - 1)),
+        ),
+        _ => Rx::Not(Box::new(random_rx(rng, depth - 1))),
+    }
+}
+
+fn random_word(rng: &mut StdRng, max_len: usize) -> Vec<u8> {
+    let len = rng.random_range(0..max_len);
+    (0..len).map(|_| rng.random_range(b'a'..=b'e')).collect()
 }
 
 fn intern(ar: &mut RegexArena, rx: &Rx) -> RegexId {
@@ -83,26 +108,50 @@ fn naive(rx: &Rx, w: &[u8]) -> bool {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+const CASES: u64 = 96;
 
-    #[test]
-    fn derivatives_agree_with_denotation(rx in rx_strategy(), w in proptest::collection::vec(b'a'..=b'e', 0..6)) {
+#[test]
+fn derivatives_agree_with_denotation() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rx = random_rx(&mut rng, 3);
+        let w = random_word(&mut rng, 6);
         let mut ar = RegexArena::new();
         let id = intern(&mut ar, &rx);
-        prop_assert_eq!(ar.matches(id, &w), naive(&rx, &w));
+        assert_eq!(
+            ar.matches(id, &w),
+            naive(&rx, &w),
+            "disagreement on {rx:?} / {w:?} (seed {seed})"
+        );
     }
+}
 
-    #[test]
-    fn dfa_agrees_with_derivatives(rx in rx_strategy(), w in proptest::collection::vec(b'a'..=b'e', 0..8)) {
+#[test]
+fn dfa_agrees_with_derivatives() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(1_000 + seed);
+        let rx = random_rx(&mut rng, 3);
+        let w = random_word(&mut rng, 8);
         let mut ar = RegexArena::new();
         let id = intern(&mut ar, &rx);
         let dfa = Dfa::build(&mut ar, id);
-        prop_assert_eq!(dfa.matches(&w), ar.matches(id, &w));
+        assert_eq!(
+            dfa.matches(&w),
+            ar.matches(id, &w),
+            "disagreement on {rx:?} / {w:?} (seed {seed})"
+        );
     }
+}
 
-    #[test]
-    fn compiled_lexer_agrees_with_fig7(input in proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'0'), Just(b'('), Just(b' '), Just(b'!')], 0..40)) {
+#[test]
+fn compiled_lexer_agrees_with_fig7() {
+    const ALPHABET: [u8; 6] = [b'a', b'b', b'0', b'(', b' ', b'!'];
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(2_000 + seed);
+        let len = rng.random_range(0..40);
+        let input: Vec<u8> = (0..len)
+            .map(|_| ALPHABET[rng.random_range(0..ALPHABET.len())])
+            .collect();
         let build = || {
             let mut b = LexerBuilder::new();
             b.token("word", "[ab]+").unwrap();
@@ -116,22 +165,38 @@ proptest! {
         let clex = CompiledLexer::build(&mut l2);
         let reference = lex_reference(&mut l1, &input);
         let compiled = clex.tokenize(&input);
-        prop_assert_eq!(reference, compiled);
+        assert_eq!(
+            reference, compiled,
+            "disagreement on {input:?} (seed {seed})"
+        );
     }
+}
 
-    #[test]
-    fn equivalence_is_reflexive_under_rewrites(rx in rx_strategy()) {
-        // r | r ≡ r,  r·ε ≡ r,  ¬¬r ≡ r at the language level
+#[test]
+fn equivalence_is_reflexive_under_rewrites() {
+    // r | r ≡ r,  r·ε ≡ r,  ¬¬r ≡ r at the language level
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(3_000 + seed);
+        let rx = random_rx(&mut rng, 3);
         let mut ar = RegexArena::new();
         let id = intern(&mut ar, &rx);
         let orr = ar.alt(id, id);
-        prop_assert!(flap_regex::equivalent(&mut ar, orr, id));
+        assert!(
+            flap_regex::equivalent(&mut ar, orr, id),
+            "r|r ≢ r for {rx:?}"
+        );
         let seq_eps = ar.seq(id, RegexArena::EPS);
-        prop_assert!(flap_regex::equivalent(&mut ar, seq_eps, id));
+        assert!(
+            flap_regex::equivalent(&mut ar, seq_eps, id),
+            "r·ε ≢ r for {rx:?}"
+        );
         let nn = {
             let n = ar.not(id);
             ar.not(n)
         };
-        prop_assert!(flap_regex::equivalent(&mut ar, nn, id));
+        assert!(
+            flap_regex::equivalent(&mut ar, nn, id),
+            "¬¬r ≢ r for {rx:?}"
+        );
     }
 }

@@ -97,7 +97,10 @@ fn theorem_3_8_on_random_well_typed_grammars() {
             );
         }
     }
-    assert!(tested >= 40, "only {tested} well-typed grammars in {attempts} attempts");
+    assert!(
+        tested >= 40,
+        "only {tested} well-typed grammars in {attempts} attempts"
+    );
 }
 
 #[test]
@@ -118,7 +121,11 @@ fn dgnf_parser_agrees_with_membership() {
             let lexemes: Vec<Lexeme> = w
                 .iter()
                 .enumerate()
-                .map(|(i, &tok)| Lexeme { token: tok, start: i, end: i + 1 })
+                .map(|(i, &tok)| Lexeme {
+                    token: tok,
+                    start: i,
+                    end: i + 1,
+                })
                 .collect();
             let input = vec![b'x'; w.len()];
             let parsed = parse_tokens(&grammar, &input, &lexemes).is_ok();

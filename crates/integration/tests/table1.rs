@@ -8,13 +8,22 @@ use flap_grammars::GrammarDef;
 use flap_staged::SizeReport;
 
 fn sizes<V: 'static>(def: GrammarDef<V>) -> SizeReport {
-    Parser::compile((def.lexer)(), &(def.cfe)()).expect("compiles").sizes()
+    Parser::compile((def.lexer)(), &(def.cfe)())
+        .expect("compiles")
+        .sizes()
 }
 
 #[track_caller]
 fn check(s: SizeReport, expect: [usize; 6]) {
     assert_eq!(
-        [s.lex_rules, s.cfes, s.nts, s.prods, s.fused_prods, s.functions],
+        [
+            s.lex_rules,
+            s.cfes,
+            s.nts,
+            s.prods,
+            s.fused_prods,
+            s.functions
+        ],
         expect,
         "pipeline sizes changed (lex rules, CFEs, NTs, prods, fused, functions)"
     );
@@ -48,7 +57,10 @@ fn ppm_sizes_are_stable() {
 
 #[test]
 fn arith_sizes_are_stable() {
-    check(sizes(flap_grammars::arith::def()), [17, 181, 28, 61, 89, 207]);
+    check(
+        sizes(flap_grammars::arith::def()),
+        [17, 181, 28, 61, 89, 207],
+    );
 }
 
 #[test]

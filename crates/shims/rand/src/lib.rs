@@ -1,0 +1,234 @@
+//! Offline stand-in for the `rand` crate (0.9 API surface).
+//!
+//! The build environment for this workspace has no network access, so
+//! the workload generators and property tests link against this shim
+//! instead of crates.io `rand`. Only the API the workspace actually
+//! uses is provided: `rngs::StdRng`, `SeedableRng::seed_from_u64`,
+//! and the `Rng` methods `random`, `random_range` (over integer
+//! `Range`/`RangeInclusive`) and `random_bool`.
+//!
+//! The generator is SplitMix64 (Steele, Lea & Flood, OOPSLA 2014):
+//! deterministic, seedable, passes BigCrush for this workload's
+//! purposes (driving synthetic test-input generators). It is NOT the
+//! crates.io `StdRng` stream — generated corpora differ from what
+//! upstream `rand` would produce, which is fine because every
+//! generated input is validated against an independent oracle.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A random number generator that can be seeded from a `u64`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing random-value methods, mirroring `rand::Rng`.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly random value of type `T`.
+    fn random<T: Fill>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::fill(self)
+    }
+
+    /// A uniformly random value in `range`, which must be non-empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty range, as upstream `rand` does.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+        R: SampleRange<T>,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        // 53 uniform mantissa bits, as rand's standard float conversion.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+/// Types that can be produced directly from an RNG (`Rng::random`).
+pub trait Fill {
+    /// Draws one uniformly random value.
+    fn fill<R: Rng>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_fill_int {
+    ($($t:ty),*) => {$(
+        impl Fill for $t {
+            fn fill<R: Rng>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_fill_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Fill for bool {
+    fn fill<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Fill for f64 {
+    fn fill<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges a uniform value can be drawn from (`Rng::random_range`).
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample<R: Rng>(self, rng: &mut R) -> T;
+}
+
+/// Integers with uniform range sampling.
+pub trait SampleUniform: Copy {
+    /// Signed-agnostic widening to `i128` for span arithmetic.
+    fn to_i128(self) -> i128;
+    /// Narrowing back from `i128` (the value is in range by
+    /// construction).
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+            fn from_i128(v: i128) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+fn sample_span<T: SampleUniform, R: Rng>(rng: &mut R, start: T, span: u128) -> T {
+    // Modulo reduction: a bias of < 2⁻⁶⁴·span is irrelevant for
+    // test-input generation, which is this shim's only job.
+    let off = (rng.next_u64() as u128 % span) as i128;
+    T::from_i128(start.to_i128() + off)
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample<R: Rng>(self, rng: &mut R) -> T {
+        let (lo, hi) = (self.start.to_i128(), self.end.to_i128());
+        assert!(lo < hi, "cannot sample empty range");
+        sample_span(rng, self.start, (hi - lo) as u128)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample<R: Rng>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        let (lo, hi) = (start.to_i128(), end.to_i128());
+        assert!(lo <= hi, "cannot sample empty range");
+        sample_span(rng, start, (hi - lo) as u128 + 1)
+    }
+}
+
+/// The concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard seeded generator (SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x: u8 = rng.random_range(b'a'..=b'z');
+            assert!(x.is_ascii_lowercase());
+            let y: usize = rng.random_range(3..=7);
+            assert!((3..=7).contains(&y));
+            let z: i64 = rng.random_range(-5..5);
+            assert!((-5..5).contains(&z));
+            let w: usize = rng.random_range(0..1);
+            assert_eq!(w, 0);
+        }
+    }
+
+    #[test]
+    fn random_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!((0..100).all(|_| !rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+        let heads = (0..10_000).filter(|_| rng.random_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "suspicious coin: {heads}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _: usize = rng.random_range(3..3);
+    }
+
+    #[test]
+    fn random_generic() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a: u64 = rng.random();
+        let b: u64 = rng.random();
+        assert_ne!(a, b);
+        let f: f64 = rng.random();
+        assert!((0.0..1.0).contains(&f));
+    }
+}
