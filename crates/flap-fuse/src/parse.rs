@@ -250,6 +250,11 @@ pub fn parse_fused_with<V>(
                 match k {
                     K::No => {
                         let (line, col) = line_col(input, tok_start);
+                        // drop partially-reduced values now rather
+                        // than holding them until the session's next
+                        // parse
+                        control.clear();
+                        values.clear();
                         return Err(FusedParseError::NoMatch {
                             pos: tok_start,
                             line,
@@ -291,6 +296,7 @@ pub fn parse_fused_with<V>(
     pos = consume_trailing_skips(arena, skip, input, pos);
     if pos != input.len() {
         let (line, col) = line_col(input, pos);
+        values.clear();
         return Err(FusedParseError::TrailingInput { pos, line, col });
     }
     debug_assert_eq!(values.len(), 1, "parse must produce exactly one value");

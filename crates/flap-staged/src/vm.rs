@@ -126,7 +126,9 @@ impl<V> CompiledParser<V> {
     /// `&self` is shared: one compiled parser can run concurrently on
     /// any number of threads, each holding its own session. The
     /// session is cleared on entry, so sessions can be reused freely
-    /// after both successful and failed parses.
+    /// after both successful and failed parses; failed parses also
+    /// clear their partially-built value stack before returning, so
+    /// an idle session never pins semantic values.
     ///
     /// # Errors
     ///
@@ -174,6 +176,11 @@ impl<V> CompiledParser<V> {
                         match stop {
                             StopAction::Fail => {
                                 let (line, col) = line_col(input, tok_start);
+                                // drop partially-reduced values now
+                                // rather than holding them until the
+                                // session's next parse
+                                control.clear();
+                                values.clear();
                                 return Err(FusedParseError::NoMatch {
                                     pos: tok_start,
                                     line,
@@ -219,6 +226,7 @@ impl<V> CompiledParser<V> {
         pos = self.trailing(input, pos);
         if pos != input.len() {
             let (line, col) = line_col(input, pos);
+            values.clear();
             return Err(FusedParseError::TrailingInput { pos, line, col });
         }
         debug_assert_eq!(values.len(), 1, "parse must produce exactly one value");

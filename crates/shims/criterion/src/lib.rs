@@ -1,0 +1,271 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the benches link
+//! against this shim. It provides the API subset the workspace's
+//! benches use — `Criterion::benchmark_group`, group configuration
+//! (`throughput`, `sample_size`, `measurement_time`, `warm_up_time`),
+//! `bench_function`, `Bencher::iter`, `BenchmarkId` and the
+//! `criterion_group!`/`criterion_main!` macros — with a plain
+//! median-of-samples timing loop instead of criterion's full
+//! statistical machinery. Numbers are printed in a criterion-like
+//! `name  time  throughput` format.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+    /// The benchmark processes this many logical elements per
+    /// iteration.
+    Elements(u64),
+}
+
+/// A parameterized benchmark identifier (`function/parameter`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Things accepted as a benchmark name by
+/// [`BenchmarkGroup::bench_function`].
+pub trait IntoBenchmarkLabel {
+    /// The display label.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkLabel for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled by `iter`.
+    median_ns: f64,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, storing the median time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up budget is spent, measuring a
+        // rough per-iteration cost to size the sample batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let budget = self.measurement_time.as_secs_f64();
+        let per_sample = budget / self.sample_size as f64;
+        let batch = (per_sample / per_iter.max(1e-9)).clamp(1.0, 1e9) as u64;
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples.push(t0.elapsed().as_secs_f64() / batch as f64);
+        }
+        samples.sort_unstable_by(|a, b| a.total_cmp(b));
+        self.median_ns = samples[samples.len() / 2] * 1e9;
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration throughput for reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Runs one benchmark and prints its result.
+    pub fn bench_function<L: IntoBenchmarkLabel, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: L,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            median_ns: 0.0,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+        };
+        f(&mut b);
+        let label = id.into_label();
+        let time = format_ns(b.median_ns);
+        match self.throughput {
+            Some(Throughput::Bytes(bytes)) => {
+                let mbps = bytes as f64 / (b.median_ns / 1e9) / 1_000_000.0;
+                println!("{}/{label:<40} {time:>12}  {mbps:>10.1} MB/s", self.name);
+            }
+            Some(Throughput::Elements(n)) => {
+                let eps = n as f64 / (b.median_ns / 1e9);
+                println!("{}/{label:<40} {time:>12}  {eps:>10.0} elem/s", self.name);
+            }
+            None => println!("{}/{label:<40} {time:>12}", self.name),
+        }
+        self
+    }
+
+    /// Ends the group (printing is immediate, so this is a no-op kept
+    /// for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark with default settings.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.benchmark_group("criterion").bench_function(name, f);
+        self
+    }
+}
+
+/// Declares a function running a list of benchmark targets, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `fn main` running the given groups, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim-test");
+        group.throughput(Throughput::Bytes(1024));
+        group.sample_size(3);
+        group.measurement_time(Duration::from_millis(30));
+        group.warm_up_time(Duration::from_millis(5));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_function(BenchmarkId::from_parameter(4), |b| b.iter(|| 2 + 2));
+        group.finish();
+    }
+
+    criterion_group!(benches, trivial_bench);
+
+    #[test]
+    fn group_runs_and_reports() {
+        benches();
+    }
+
+    #[test]
+    fn id_formatting() {
+        assert_eq!(BenchmarkId::new("threads", 8).into_label(), "threads/8");
+        assert_eq!(BenchmarkId::from_parameter("flap").into_label(), "flap");
+    }
+}
