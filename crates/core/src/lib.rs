@@ -54,6 +54,55 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
+//! # Streaming input
+//!
+//! The engine is a resumable stepper, not a slice-only loop: input
+//! can arrive chunk by chunk — from a socket, a pipe, a decompressor
+//! — through the [`ByteSource`] abstraction, and a [`ParseSession`]
+//! can suspend between chunks. The session retains the automaton
+//! state, the *partial-token byte tail* (a lexeme straddling chunk
+//! boundaries still reaches its semantic action as one contiguous
+//! slice) and line/column accounting, so values and error positions
+//! are byte-for-byte identical to a one-shot parse of the
+//! concatenated input. Memory is bounded by one chunk plus the
+//! longest lexeme — never the whole input:
+//!
+//! ```
+//! # use flap::{Cfe, LexerBuilder, Parser, Step};
+//! # let mut lx = LexerBuilder::new();
+//! # let atom = lx.token("atom", "[a-z]+")?;
+//! # lx.skip(" ")?;
+//! # let lexer = lx.build()?;
+//! # let grammar: Cfe<i64> =
+//! #     Cfe::fix(|x| Cfe::eps_with(|| 0).or(Cfe::tok_val(atom, 1).then(x, |a, b| a + b)));
+//! let parser = Parser::compile(lexer, &grammar)?;
+//!
+//! // push-style: feed chunks as they arrive, finish at end of input
+//! let mut session = parser.session();
+//! let mut stream = parser.stream(&mut session);
+//! for chunk in [&b"hello wo"[..], b"rld and frie", b"nds"] {
+//!     match stream.feed(chunk) {
+//!         Step::NeedMore => {}
+//!         other => panic!("unexpected {other:?}"),
+//!     }
+//! }
+//! match stream.finish() {
+//!     Step::Done(words) => assert_eq!(words, 4),
+//!     other => panic!("unexpected {other:?}"),
+//! }
+//!
+//! // pull-style: drain any std::io::Read without materializing it
+//! let reader = std::io::Cursor::new(&b"one two three"[..]);
+//! assert_eq!(parser.parse_reader(reader)?, 3);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! The one-shot [`Parser::parse`] / [`Parser::parse_with`] /
+//! [`Parser::parse_batch`] entry points are thin wrappers over the
+//! same stepper, handed the whole slice at once — there is exactly
+//! one hot loop, and the contiguous fast path does no buffering or
+//! copying.
+//!
 //! # Concurrency
 //!
 //! A compiled [`Parser`] is immutable and `Send + Sync`: semantic
@@ -100,14 +149,19 @@
 //! | `flap-staged` | §5 | staged compilation, VM, Rust codegen |
 
 #![warn(missing_docs)]
+// Parse errors inline their expected-token set so error construction
+// never allocates (see flap-fuse); the larger Err variant is a
+// deliberate tradeoff, constructed once per failed parse.
+#![allow(clippy::result_large_err)]
 
 mod parser;
 pub mod typed;
 
 pub use flap_cfe::{node_count, type_check, Cfe, Ty, TypeError, VarId};
 pub use flap_fuse::FusedParseError as ParseError;
+pub use flap_fuse::{ByteSource, Expected, IterSource, ReadSource, SliceChunks, Step, StreamError};
 pub use flap_lex::{LexBuildError, Lexer, LexerBuilder, Token, TokenSet};
-pub use flap_staged::{CompileTimes, ParseSession, SizeReport};
+pub use flap_staged::{CompileTimes, ParseSession, SizeReport, StreamParse};
 pub use parser::{CompileError, Parser};
 
 // The pipeline crates, for users who need the intermediate stages.

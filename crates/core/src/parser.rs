@@ -7,9 +7,11 @@ use std::sync::Arc;
 
 use flap_cfe::{Cfe, TypeError};
 use flap_dgnf::{DgnfError, Grammar, NormalizeError};
-use flap_fuse::{FuseError, FusedGrammar, FusedParseError};
+use flap_fuse::{ByteSource, FuseError, FusedGrammar, FusedParseError, ReadSource, StreamError};
 use flap_lex::Lexer;
-use flap_staged::{measure_pipeline, CompileTimes, CompiledParser, ParseSession, SizeReport};
+use flap_staged::{
+    measure_pipeline, CompileTimes, CompiledParser, ParseSession, SizeReport, StreamParse,
+};
 
 /// Everything that can go wrong between a grammar definition and a
 /// runnable parser.
@@ -148,6 +150,74 @@ impl<V: 'static> Parser<V> {
     /// As for [`Parser::parse`].
     pub fn recognize(&self, input: &[u8]) -> Result<(), FusedParseError> {
         self.compiled.recognize(input)
+    }
+
+    /// Begins (or continues) a suspendable streaming parse: feed the
+    /// input chunk by chunk as it arrives — from a socket, a pipe, a
+    /// decompressor — without materializing it.
+    ///
+    /// The session retains the automaton state, the partial-token
+    /// byte tail (so a lexeme straddling chunk boundaries still
+    /// reaches its action as one contiguous slice) and line/column
+    /// accounting between feeds; results and error positions are
+    /// byte-for-byte identical to a one-shot [`Parser::parse`] of the
+    /// concatenated input.
+    ///
+    /// ```
+    /// # use flap::{Cfe, LexerBuilder, Parser, Step};
+    /// # let mut lx = LexerBuilder::new();
+    /// # let num = lx.token("num", "[0-9]+")?;
+    /// # let lexer = lx.build()?;
+    /// # let grammar: Cfe<i64> = Cfe::tok_with(num, |lx| lx.len() as i64);
+    /// let parser = Parser::compile(lexer, &grammar)?;
+    /// let mut session = parser.session();
+    /// let mut s = parser.stream(&mut session);
+    /// assert!(matches!(s.feed(b"123"), Step::NeedMore));
+    /// assert!(matches!(s.feed(b"45"), Step::NeedMore));
+    /// match s.finish() {
+    ///     Step::Done(n) => assert_eq!(n, 5),
+    ///     other => panic!("{other:?}"),
+    /// }
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn stream<'a>(&'a self, session: &'a mut ParseSession<V>) -> StreamParse<'a, V> {
+        self.compiled.stream(session)
+    }
+
+    /// Parses an entire [`ByteSource`] (chunked slices, iterators of
+    /// chunks, [`std::io::Read`] adapters) through a reused session.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError`] on either an I/O failure of the source or a
+    /// parse failure of the input.
+    pub fn parse_source_with(
+        &self,
+        session: &mut ParseSession<V>,
+        source: &mut impl ByteSource,
+    ) -> Result<V, StreamError> {
+        self.compiled.parse_source_with(session, source)
+    }
+
+    /// As [`Parser::parse_source_with`] with a fresh session per
+    /// call.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Parser::parse_source_with`].
+    pub fn parse_source(&self, source: &mut impl ByteSource) -> Result<V, StreamError> {
+        self.compiled.parse_source(source)
+    }
+
+    /// Parses straight from a [`std::io::Read`] — a file, socket or
+    /// pipe — through an internal chunk buffer, without materializing
+    /// the input.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Parser::parse_source`].
+    pub fn parse_reader(&self, reader: impl std::io::Read) -> Result<V, StreamError> {
+        self.parse_source(&mut ReadSource::new(reader))
     }
 
     /// The Table 1 size columns for this grammar.
@@ -362,6 +432,26 @@ mod tests {
         }
         // empty batch
         assert!(p.parse_batch(&Vec::<Vec<u8>>::new(), 4).is_empty());
+    }
+
+    #[test]
+    fn streaming_matches_one_shot_through_the_facade() {
+        let p = sexp();
+        let input = b"(a (b c) d)";
+        let mut session = p.session();
+        for chunk in [1usize, 3, 64] {
+            let v = p
+                .parse_source_with(&mut session, &mut flap_fuse::SliceChunks::new(input, chunk))
+                .unwrap();
+            assert_eq!(v, 4, "chunk={chunk}");
+        }
+        assert_eq!(p.parse_reader(std::io::Cursor::new(&input[..])).unwrap(), 4);
+        match p.parse_source(&mut flap_fuse::SliceChunks::new(b"(a !", 2)) {
+            Err(flap_fuse::StreamError::Parse(e)) => {
+                assert_eq!(Err(e), p.parse(b"(a !"), "errors must match one-shot")
+            }
+            other => panic!("expected a parse error, got {:?}", other.map(|_| ())),
+        }
     }
 
     #[test]

@@ -57,7 +57,7 @@ use std::marker::PhantomData;
 use std::rc::Rc;
 
 use flap_cfe::Cfe;
-use flap_fuse::FusedParseError;
+use flap_fuse::{ByteSource, FusedParseError, ReadSource, StreamError};
 use flap_lex::{Lexer, Token};
 
 use crate::parser::{CompileError, Parser};
@@ -216,6 +216,28 @@ impl<T: 'static> TypedParser<T> {
         self.inner.parse(input).map(unwrap::<T>)
     }
 
+    /// Parses an entire [`ByteSource`] — the typed face of the
+    /// streaming API. (A `TypedParser` is single-threaded, so the
+    /// session is managed internally.)
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError`] on either an I/O failure of the source or a
+    /// parse failure of the input.
+    pub fn parse_source(&self, source: &mut impl ByteSource) -> Result<T, StreamError> {
+        self.inner.parse_source(source).map(unwrap::<T>)
+    }
+
+    /// Parses straight from a [`std::io::Read`] through an internal
+    /// chunk buffer.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TypedParser::parse_source`].
+    pub fn parse_reader(&self, reader: impl std::io::Read) -> Result<T, StreamError> {
+        self.parse_source(&mut ReadSource::new(reader))
+    }
+
     /// The untyped parser underneath (for metrics and inspection).
     pub fn inner(&self) -> &Parser<Dyn> {
         &self.inner
@@ -273,6 +295,32 @@ mod tests {
         let lexer = b.build().unwrap();
         let bad = star(tok(w, |_| ())).then(tok(stop, |_| ()));
         assert!(matches!(bad.compile(lexer), Err(CompileError::Type(_))));
+    }
+
+    #[test]
+    fn typed_streaming_from_a_reader() {
+        let mut b = LexerBuilder::new();
+        let n = b.token("n", "[0-9]+").unwrap();
+        let comma = b.token("comma", ",").unwrap();
+        let lexer = b.build().unwrap();
+        let number: TypedCfe<u32> = tok(n, |lx| std::str::from_utf8(lx).unwrap().parse().unwrap());
+        let list = fix(|rest: TypedCfe<Vec<u32>>| {
+            let tail = tok(comma, |_| ())
+                .then(rest)
+                .map(|((), v)| v)
+                .opt()
+                .map(Option::unwrap_or_default);
+            number.clone().then(tail).map(|(h, mut t)| {
+                t.insert(0, h);
+                t
+            })
+        });
+        let p = list.compile(lexer).unwrap();
+        // 2-byte reads split the multi-digit lexemes across chunks
+        let reader = std::io::Cursor::new(&b"10,203,3,4567"[..]);
+        let mut src = ReadSource::with_capacity(reader, 2);
+        assert_eq!(p.parse_source(&mut src).unwrap(), vec![10, 203, 3, 4567]);
+        assert!(p.parse_reader(std::io::Cursor::new(&b"1,,2"[..])).is_err());
     }
 
     #[test]

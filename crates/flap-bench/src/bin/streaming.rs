@@ -1,0 +1,74 @@
+//! Streaming throughput driver: chunked feeds vs the contiguous
+//! slice, so the overhead of the resumable stepper shows up in BENCH
+//! output next to the Fig 11 numbers.
+//!
+//! Usage: `cargo run -p flap-bench --release --bin streaming
+//! [doc_kb] [iters]` (default one ≈256 KiB document, 5 iterations).
+//!
+//! One `flap::Parser` per grammar (JSON and s-expressions) parses the
+//! same document through one reused `ParseSession`, first as a single
+//! slice (`parse_with`), then chunk by chunk through the streaming
+//! API at several chunk sizes. Both run the same hot loop; the ratio
+//! column is the pure suspend/resume cost (buffer append, token-tail
+//! retention, line accounting per boundary). Expect large chunks to
+//! sit near 1.00x and 64-byte chunks to bound the worst case.
+
+use std::time::Instant;
+
+use flap_fuse::SliceChunks;
+use flap_grammars::GrammarDef;
+
+const CHUNKS: [usize; 4] = [64, 1024, 4096, 64 * 1024];
+
+fn bench_one(def: &GrammarDef<i64>, doc_bytes: usize, iters: usize) {
+    let parser = def.flap_parser();
+    let input = (def.generate)(42, doc_bytes);
+    let expected = (def.reference)(&input).expect("generated input is valid");
+    let mut session = parser.session();
+
+    let mut best_contiguous = f64::INFINITY;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let v = parser.parse_with(&mut session, &input).expect("parses");
+        best_contiguous = best_contiguous.min(t0.elapsed().as_secs_f64());
+        assert_eq!(v, expected, "contiguous result disagrees with oracle");
+    }
+    let base_mbps = input.len() as f64 / best_contiguous / 1e6;
+    print!(
+        "{:<8}{:>9}{:>12.1}",
+        def.name,
+        format!("{} KB", input.len() / 1024),
+        base_mbps
+    );
+
+    for chunk in CHUNKS {
+        let mut best = f64::INFINITY;
+        for _ in 0..iters {
+            let t0 = Instant::now();
+            let v = parser
+                .parse_source_with(&mut session, &mut SliceChunks::new(&input, chunk))
+                .expect("parses");
+            best = best.min(t0.elapsed().as_secs_f64());
+            assert_eq!(v, expected, "streamed result disagrees with oracle");
+        }
+        let mbps = input.len() as f64 / best / 1e6;
+        print!("{:>10.1} ({:>4.2}x)", mbps, mbps / base_mbps);
+    }
+    println!();
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let doc_kb: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(256);
+    let iters: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(5);
+
+    println!("streaming throughput: chunked feed vs contiguous slice (MB/s, best of {iters})");
+    print!("{:<8}{:>9}{:>12}", "grammar", "doc", "contiguous");
+    for chunk in CHUNKS {
+        print!("{:>18}", format!("chunk {chunk}B"));
+    }
+    println!();
+    for def in [flap_grammars::json::def(), flap_grammars::sexp::def()] {
+        bench_one(&def, doc_kb * 1024, iters);
+    }
+}

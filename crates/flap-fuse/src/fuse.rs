@@ -83,6 +83,15 @@ impl<V> Clone for FusedNt<V> {
 pub struct FusedGrammar<V> {
     start: NtId,
     nts: Vec<FusedNt<V>>,
+    /// Streaming-owner id (see `stream::next_owner_id`): suspended
+    /// sessions record it so they cannot be resumed against a
+    /// different grammar's tables. Clones share the id — their
+    /// tables are identical, so cross-clone resumption is sound.
+    stream_id: u64,
+    /// Declared token names (indexed by `Token`), carried over from
+    /// the lexer for diagnostics: expected-set reporting clones these
+    /// `Arc`s into errors without allocating.
+    tok_names: Vec<Arc<str>>,
 }
 
 impl<V> Clone for FusedGrammar<V> {
@@ -90,6 +99,8 @@ impl<V> Clone for FusedGrammar<V> {
         FusedGrammar {
             start: self.start,
             nts: self.nts.clone(),
+            stream_id: self.stream_id,
+            tok_names: self.tok_names.clone(),
         }
     }
 }
@@ -117,6 +128,22 @@ impl<V> FusedGrammar<V> {
     /// The fused productions of `nt`.
     pub fn entry(&self, nt: NtId) -> &FusedNt<V> {
         &self.nts[nt.index()]
+    }
+
+    /// The declared name of token `t`, as a shared handle suitable
+    /// for embedding in errors without allocation.
+    pub fn token_name_arc(&self, t: Token) -> &Arc<str> {
+        &self.tok_names[t.index()]
+    }
+
+    /// The declared token names, indexed by token.
+    pub fn token_names(&self) -> &[Arc<str>] {
+        &self.tok_names
+    }
+
+    /// The grammar's streaming-owner id (suspension ownership checks).
+    pub fn stream_id(&self) -> u64 {
+        self.stream_id
     }
 
     /// All nonterminals.
@@ -231,6 +258,11 @@ pub fn fuse<V>(lexer: &mut Lexer, grammar: &Grammar<V>) -> Result<FusedGrammar<V
     Ok(FusedGrammar {
         start: grammar.start(),
         nts,
+        stream_id: crate::stream::next_owner_id(),
+        tok_names: lexer
+            .tokens()
+            .map(|t| Arc::from(lexer.token_name(t)))
+            .collect(),
     })
 }
 

@@ -9,7 +9,12 @@
 //!
 //! [`parse_fused`] runs the Fig 9 algorithm over the result with
 //! on-the-fly derivatives; `flap-staged` compiles the same grammar to
-//! a table-driven automaton ahead of time.
+//! a table-driven automaton ahead of time. Both engines are written
+//! as resumable steppers: [`stream_fused`] feeds input chunk by
+//! chunk through a suspendable [`FusedSession`], and the [`stream`]
+//! module provides the [`ByteSource`] input abstraction (slices,
+//! chunk iterators, [`std::io::Read`] adapters) shared by every
+//! streaming entry point.
 //!
 //! # Quickstart
 //!
@@ -38,9 +43,22 @@
 //! ```
 
 #![warn(missing_docs)]
+// `FusedParseError` inlines its expected-token set (fixed array of
+// `Arc<str>`) precisely so error construction never allocates — the
+// audited §2.8 property. That makes the Err variant bigger than
+// clippy's default threshold; errors are built once per failed parse,
+// never on the per-byte hot path, so the tradeoff is deliberate.
+#![allow(clippy::result_large_err)]
 
 mod fuse;
 mod parse;
+pub mod stream;
 
 pub use fuse::{fuse, DisplayFused, FuseError, FusedGrammar, FusedNt, FusedProd, FusedToken};
-pub use parse::{line_col, parse_fused, parse_fused_with, FusedParseError, FusedSession};
+pub use parse::{
+    line_col, parse_fused, parse_fused_with, stream_fused, FusedParseError, FusedSession,
+    FusedStream,
+};
+pub use stream::{
+    ByteSource, Expected, IterSource, ReadSource, SliceChunks, Step, StreamError, StreamState,
+};

@@ -13,10 +13,25 @@
 //! Benchmarking the two against each other isolates the contribution
 //! of staging (§6).
 //!
+//! ### One resumable core
+//!
+//! The interpreter is written as a *stepper*: it runs over whatever
+//! contiguous bytes it is given and, when they run out before end of
+//! input, suspends into the session — automaton position, live
+//! derivative set, longest match so far — and reports how many bytes
+//! it fully consumed. One-shot [`parse_fused`]/[`parse_fused_with`]
+//! are thin wrappers that hand the stepper the whole input with the
+//! end-of-input flag set; [`stream_fused`] feeds it chunk by chunk.
+//! Because token actions need their lexeme as one contiguous slice,
+//! a suspended session retains the bytes of the in-progress token
+//! (the *token tail*) in its [`StreamState`] buffer and resumes the
+//! scan after them — see `flap_fuse::stream` for the invariant.
+//!
 //! Per-parse mutable state (control stack, value stack, live
-//! derivative set) lives in a caller-owned [`FusedSession`], mirroring
-//! `flap-staged`'s `ParseSession`, so the staged/unstaged differential
-//! comparison exercises the same ownership discipline on both sides.
+//! derivative set, suspension point) lives in a caller-owned
+//! [`FusedSession`], mirroring `flap-staged`'s `ParseSession`, so the
+//! staged/unstaged differential comparison exercises the same
+//! ownership discipline on both sides.
 
 use std::fmt;
 
@@ -24,6 +39,7 @@ use flap_dgnf::NtId;
 use flap_regex::{RegexArena, RegexId};
 
 use crate::fuse::{FusedGrammar, FusedProd};
+use crate::stream::{ByteSource, Expected, Step, StreamError, StreamState};
 
 /// 1-based line and column of byte offset `pos` within `input`.
 ///
@@ -40,8 +56,9 @@ pub fn line_col(input: &[u8], pos: usize) -> (usize, usize) {
 
 /// Parse failure for fused parsing (byte-level positions: there are
 /// no tokens to report). Each variant also carries the 1-based
-/// line/column of the failure, computed from the input at
-/// construction time, so `Display` messages are actionable.
+/// line/column of the failure — computed from the input (one-shot) or
+/// from the session's incremental accounting (streaming) — so
+/// `Display` messages are actionable.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum FusedParseError {
     /// No production of the pending nonterminal matches the input at
@@ -55,6 +72,9 @@ pub enum FusedParseError {
         col: usize,
         /// The nonterminal being parsed.
         nt: NtId,
+        /// The token names whose regexes were still live when the
+        /// scan stopped — what could have made progress here.
+        expected: Expected,
     },
     /// Parsing finished but non-skippable input remains.
     TrailingInput {
@@ -84,17 +104,68 @@ impl FusedParseError {
             | FusedParseError::TrailingInput { line, col, .. } => (*line, *col),
         }
     }
+
+    /// The expected-token set of a [`FusedParseError::NoMatch`]
+    /// (`None` for trailing-input errors, which have no live scan).
+    pub fn expected(&self) -> Option<&Expected> {
+        match self {
+            FusedParseError::NoMatch { expected, .. } => Some(expected),
+            FusedParseError::TrailingInput { .. } => None,
+        }
+    }
+
+    /// Renders the offending source line with a caret under the
+    /// failure column, rustc-style:
+    ///
+    /// ```text
+    /// error: parse error at line 2, column 4 (byte 9) while parsing Nt(0): expected one of: atom, lpar
+    ///   |
+    /// 2 | (a !)
+    ///   |    ^
+    /// ```
+    ///
+    /// `source` must be the same input the failing parse saw (for a
+    /// streaming parse, the concatenation of every chunk); positions
+    /// in the error index into it.
+    pub fn render_snippet(&self, source: &[u8]) -> String {
+        let pos = self.pos().min(source.len());
+        let start = source[..pos]
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map_or(0, |j| j + 1);
+        let end = pos
+            + source[pos..]
+                .iter()
+                .position(|&b| b == b'\n')
+                .unwrap_or(source.len() - pos);
+        let (line, col) = self.line_col();
+        let text = String::from_utf8_lossy(&source[start..end]);
+        let gutter = line.to_string();
+        let pad = " ".repeat(gutter.len());
+        let caret_pad = " ".repeat(col.saturating_sub(1));
+        format!("error: {self}\n{pad} |\n{gutter} | {text}\n{pad} | {caret_pad}^\n")
+    }
 }
 
 impl fmt::Display for FusedParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FusedParseError::NoMatch { pos, line, col, nt } => {
+            FusedParseError::NoMatch {
+                pos,
+                line,
+                col,
+                nt,
+                expected,
+            } => {
                 write!(
                     f,
                     "parse error at line {}, column {} (byte {}) while parsing {:?}",
                     line, col, pos, nt
-                )
+                )?;
+                if !expected.is_empty() {
+                    write!(f, ": expected one of: {expected}")?;
+                }
+                Ok(())
             }
             FusedParseError::TrailingInput { pos, line, col } => {
                 write!(
@@ -131,15 +202,49 @@ enum K {
     On(usize),
 }
 
-/// Caller-owned scratch state for [`parse_fused_with`]: the control
-/// stack, value stack and live-derivative set of the Fig 9
-/// interpreter. The unstaged counterpart of
+/// Where a suspended fused parse resumes — the automaton position
+/// saved when a feed runs out of bytes.
+#[derive(Clone, Copy)]
+enum Resume {
+    /// No stream is active (fresh session, or the last parse ended).
+    Idle,
+    /// At the top of the control loop, about to pop the next entry.
+    Control,
+    /// Mid-scan of one token of `nt`: the first `scanned` buffered
+    /// bytes have been fed to the live derivatives, the longest match
+    /// so far is `rs_len` bytes, and `k` is the pending continuation.
+    Token {
+        nt: NtId,
+        k: K,
+        rs_len: usize,
+        scanned: usize,
+    },
+    /// Mid-scan of one trailing skip lexeme: `r` is the current
+    /// derivative of the skip regex.
+    Trailing {
+        r: RegexId,
+        best_len: usize,
+        scanned: usize,
+    },
+}
+
+/// Caller-owned scratch state for fused parsing: the control stack,
+/// value stack and live-derivative set of the Fig 9 interpreter,
+/// plus the suspension state and retained byte tail of an in-progress
+/// streaming parse. The unstaged counterpart of
 /// `flap_staged::ParseSession`.
 pub struct FusedSession<V> {
     control: Vec<Ctl>,
     values: Vec<V>,
     /// Reused scratch buffer for the live derivative set.
     live: Vec<(RegexId, usize)>,
+    /// Suspension point of an in-progress streaming parse.
+    resume: Resume,
+    /// `stream_id` of the grammar that created the suspension, so a
+    /// suspended session cannot be resumed against different tables.
+    owner: u64,
+    /// Retained bytes + line/column accounting for streaming.
+    stream: StreamState,
 }
 
 impl<V> FusedSession<V> {
@@ -150,13 +255,292 @@ impl<V> FusedSession<V> {
             control: Vec::new(),
             values: Vec::new(),
             live: Vec::new(),
+            resume: Resume::Idle,
+            owner: 0,
+            stream: StreamState::new(),
         }
+    }
+
+    /// Abandons any suspended stream and clears all per-parse state,
+    /// retaining buffer capacity.
+    pub fn reset(&mut self) {
+        self.control.clear();
+        self.values.clear();
+        self.live.clear();
+        self.resume = Resume::Idle;
+        self.owner = 0;
+        self.stream.reset();
     }
 }
 
 impl<V> Default for FusedSession<V> {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// What one run of the stepper produced. Positions are relative to
+/// the byte slice the stepper was given; wrappers translate them to
+/// global stream offsets and line/columns.
+enum Flow {
+    /// Out of bytes before end of input (only when `last == false`):
+    /// everything before `keep_from` is fully consumed; the caller
+    /// must retain the rest (the in-progress token's tail).
+    More { keep_from: usize },
+    /// Parse and trailing skips completed exactly at end of input.
+    Done,
+    /// No production of `nt` matched at `pos`.
+    NoMatch { pos: usize, nt: NtId },
+    /// The start symbol completed but non-skippable input remains.
+    TrailingInput { pos: usize },
+}
+
+/// The immutable-per-call context of the fused interpreter: the
+/// grammar, the derivative arena and the skip regex.
+struct Machine<'a, V> {
+    fg: &'a FusedGrammar<V>,
+    arena: &'a mut RegexArena,
+    skip: Option<RegexId>,
+}
+
+impl<V> Machine<'_, V> {
+    /// The resumable Fig 9 stepper. Runs over `input` until it either
+    /// needs more bytes (`last == false`), finishes, or fails. All
+    /// hot-loop state lives in the session halves passed in, so a
+    /// suspended run can continue on the next feed exactly where it
+    /// stopped.
+    fn run(
+        &mut self,
+        control: &mut Vec<Ctl>,
+        values: &mut Vec<V>,
+        live: &mut Vec<(RegexId, usize)>,
+        resume: &mut Resume,
+        input: &[u8],
+        last: bool,
+    ) -> Flow {
+        let mut pos = 0usize;
+        if !matches!(*resume, Resume::Trailing { .. }) {
+            let mut suspended = match *resume {
+                Resume::Token {
+                    nt,
+                    k,
+                    rs_len,
+                    scanned,
+                } => Some((nt, k, rs_len, scanned)),
+                _ => None,
+            };
+            'outer: loop {
+                // Resume a suspended scan (the token tail starts at
+                // buffer offset 0 by the retention invariant), or pop
+                // the next control entry and start a fresh one.
+                let (nt, tok_start, mut k, mut rs, mut i) = match suspended.take() {
+                    Some((nt, k, rs_len, scanned)) => (nt, 0, k, rs_len, scanned),
+                    None => match control.pop() {
+                        None => break 'outer,
+                        Some(Ctl::Reduce { nt, idx }) => {
+                            let tok = self.fg.entry(nt).prods[idx as usize]
+                                .token
+                                .as_ref()
+                                .expect("Reduce entries address token productions");
+                            tok.reduce.run(values);
+                            continue 'outer;
+                        }
+                        Some(Ctl::Nt(n)) => {
+                            let entry = self.fg.entry(n);
+                            live.clear();
+                            live.extend(entry.prods.iter().enumerate().map(|(i, p)| (p.regex, i)));
+                            let k = if entry.eps.is_some() { K::Back } else { K::No };
+                            (n, pos, k, pos, pos)
+                        }
+                    },
+                };
+                // F: scan one token for nonterminal `nt`.
+                while i < input.len() && !live.is_empty() {
+                    let c = input[i];
+                    live.retain_mut(|(r, _)| {
+                        *r = self.arena.deriv(*r, c);
+                        *r != RegexArena::EMPTY
+                    });
+                    if live.is_empty() {
+                        break;
+                    }
+                    i += 1;
+                    let mut nullable = live.iter().filter(|&&(r, _)| self.arena.nullable(r));
+                    if let Some(&(_, idx)) = nullable.next() {
+                        debug_assert!(
+                            nullable.next().is_none(),
+                            "fused production regexes must be disjoint"
+                        );
+                        k = K::On(idx);
+                        rs = i;
+                    }
+                }
+                if i >= input.len() && !last && !live.is_empty() {
+                    // Out of bytes with the scan still live: a longer
+                    // match may arrive in the next chunk. Suspend,
+                    // retaining the token's bytes from tok_start on.
+                    *resume = Resume::Token {
+                        nt,
+                        k,
+                        rs_len: rs - tok_start,
+                        scanned: i - tok_start,
+                    };
+                    return Flow::More {
+                        keep_from: tok_start,
+                    };
+                }
+                // Step(k, rs)
+                match k {
+                    K::No => {
+                        // drop partially-reduced values now rather
+                        // than holding them until the session's next
+                        // parse
+                        control.clear();
+                        values.clear();
+                        *resume = Resume::Idle;
+                        return Flow::NoMatch { pos: tok_start, nt };
+                    }
+                    K::Back => {
+                        let entry = self.fg.entry(nt);
+                        let (_, eps) = entry.eps.as_ref().expect("Back implies an ε rule");
+                        eps.run(values);
+                        // consume nothing: pos stays at tok_start
+                        pos = tok_start;
+                    }
+                    K::On(idx) => {
+                        pos = rs;
+                        let FusedProd { token, .. } = &self.fg.entry(nt).prods[idx];
+                        match token {
+                            None => {
+                                // skip self-loop: retry the same
+                                // nonterminal after the skipped bytes
+                                control.push(Ctl::Nt(nt));
+                            }
+                            Some(tok) => {
+                                values.push((tok.tok_action)(&input[tok_start..rs]));
+                                control.push(Ctl::Reduce {
+                                    nt,
+                                    idx: idx as u32,
+                                });
+                                for &m in tok.tail.iter().rev() {
+                                    control.push(Ctl::Nt(m));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // G exhausted (or resuming here): consume trailing skippable
+        // lexemes, then require end of input.
+        let Some(skip) = self.skip else {
+            let at = if matches!(*resume, Resume::Trailing { .. }) {
+                0
+            } else {
+                pos
+            };
+            if at < input.len() {
+                control.clear();
+                values.clear();
+                *resume = Resume::Idle;
+                return Flow::TrailingInput { pos: at };
+            }
+            if !last {
+                *resume = Resume::Trailing {
+                    r: RegexArena::EMPTY,
+                    best_len: 0,
+                    scanned: 0,
+                };
+                return Flow::More { keep_from: at };
+            }
+            *resume = Resume::Idle;
+            return Flow::Done;
+        };
+        let (mut tok_start, mut r, mut best, mut i) = match *resume {
+            Resume::Trailing {
+                r,
+                best_len,
+                scanned,
+            } => (0, r, best_len, scanned),
+            _ => (pos, skip, 0, pos),
+        };
+        loop {
+            // longest-match scan of one skip lexeme from tok_start
+            loop {
+                if r == RegexArena::EMPTY {
+                    break;
+                }
+                if i >= input.len() {
+                    if last {
+                        break;
+                    }
+                    *resume = Resume::Trailing {
+                        r,
+                        best_len: best,
+                        scanned: i - tok_start,
+                    };
+                    return Flow::More {
+                        keep_from: tok_start,
+                    };
+                }
+                r = self.arena.deriv(r, input[i]);
+                i += 1;
+                if self.arena.nullable(r) {
+                    best = i - tok_start;
+                }
+            }
+            if best == 0 {
+                break;
+            }
+            // commit the lexeme; rescan any lookahead bytes beyond it
+            tok_start += best;
+            i = tok_start;
+            r = skip;
+            best = 0;
+        }
+        if tok_start < input.len() {
+            control.clear();
+            values.clear();
+            *resume = Resume::Idle;
+            return Flow::TrailingInput { pos: tok_start };
+        }
+        *resume = Resume::Idle;
+        Flow::Done
+    }
+
+    /// The expected-token set at a `NoMatch`: replays the failing
+    /// scan over the token's bytes (cold path — the bytes are always
+    /// at hand, one-shot from the input slice and streaming from the
+    /// retained tail) and reports the productions that were still
+    /// live just before the scan died, in production order.
+    fn expected_at(&mut self, nt: NtId, bytes: &[u8]) -> Expected {
+        let fg = self.fg;
+        let entry = fg.entry(nt);
+        let mut cur: Vec<(RegexId, usize)> = entry
+            .prods
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.regex, i))
+            .collect();
+        for &b in bytes {
+            let survivors: Vec<(RegexId, usize)> = cur
+                .iter()
+                .map(|&(r, i)| (self.arena.deriv(r, b), i))
+                .filter(|&(r, _)| r != RegexArena::EMPTY)
+                .collect();
+            if survivors.is_empty() {
+                break;
+            }
+            cur = survivors;
+        }
+        let mut expected = Expected::none();
+        for &(_, idx) in &cur {
+            if let Some(tok) = &entry.prods[idx].token {
+                expected.push(fg.token_name_arc(tok.token));
+            }
+        }
+        expected
     }
 }
 
@@ -181,12 +565,15 @@ pub fn parse_fused<V>(
     parse_fused_with(fg, arena, skip, &mut FusedSession::new(), input)
 }
 
-/// As [`parse_fused`], with caller-owned scratch state.
+/// As [`parse_fused`], with caller-owned scratch state — a thin
+/// wrapper handing the resumable stepper the whole input at once, so
+/// the one-shot and streaming paths share a single hot loop.
 ///
 /// Note that unlike the staged VM, the unstaged interpreter *must*
 /// mutate the regex arena (derivatives are computed and memoized at
 /// parse time), so concurrent use requires one arena per thread as
-/// well as one session per thread.
+/// well as one session per thread. Any stream suspended in `session`
+/// is abandoned.
 ///
 /// # Errors
 ///
@@ -198,135 +585,230 @@ pub fn parse_fused_with<V>(
     session: &mut FusedSession<V>,
     input: &[u8],
 ) -> Result<V, FusedParseError> {
+    session.reset();
+    session.control.push(Ctl::Nt(fg.start()));
+    session.resume = Resume::Control;
     let FusedSession {
         control,
         values,
         live,
+        resume,
+        ..
     } = session;
-    control.clear();
-    values.clear();
-    control.push(Ctl::Nt(fg.start()));
-    let mut pos = 0usize;
-
-    while let Some(ctl) = control.pop() {
-        match ctl {
-            Ctl::Reduce { nt, idx } => {
-                let tok = fg.entry(nt).prods[idx as usize]
-                    .token
-                    .as_ref()
-                    .expect("Reduce entries address token productions");
-                tok.reduce.run(values);
-            }
-            Ctl::Nt(n) => {
-                let entry = fg.entry(n);
-                // F: scan one token for nonterminal `n`.
-                let tok_start = pos;
-                live.clear();
-                live.extend(entry.prods.iter().enumerate().map(|(i, p)| (p.regex, i)));
-                let mut k = if entry.eps.is_some() { K::Back } else { K::No };
-                let mut rs = pos;
-                let mut i = pos;
-                while i < input.len() && !live.is_empty() {
-                    let c = input[i];
-                    live.retain_mut(|(r, _)| {
-                        *r = arena.deriv(*r, c);
-                        *r != RegexArena::EMPTY
-                    });
-                    if live.is_empty() {
-                        break;
-                    }
-                    i += 1;
-                    let mut nullable = live.iter().filter(|&&(r, _)| arena.nullable(r));
-                    if let Some(&(_, idx)) = nullable.next() {
-                        debug_assert!(
-                            nullable.next().is_none(),
-                            "fused production regexes must be disjoint"
-                        );
-                        k = K::On(idx);
-                        rs = i;
-                    }
-                }
-                // Step(k, rs)
-                match k {
-                    K::No => {
-                        let (line, col) = line_col(input, tok_start);
-                        // drop partially-reduced values now rather
-                        // than holding them until the session's next
-                        // parse
-                        control.clear();
-                        values.clear();
-                        return Err(FusedParseError::NoMatch {
-                            pos: tok_start,
-                            line,
-                            col,
-                            nt: n,
-                        });
-                    }
-                    K::Back => {
-                        let (_, eps) = entry.eps.as_ref().expect("Back implies an ε rule");
-                        eps.run(values);
-                        // consume nothing: pos stays at tok_start
-                        pos = tok_start;
-                    }
-                    K::On(idx) => {
-                        pos = rs;
-                        let FusedProd { token, .. } = &entry.prods[idx];
-                        match token {
-                            None => {
-                                // skip self-loop: retry the same
-                                // nonterminal after the skipped bytes
-                                control.push(Ctl::Nt(n));
-                            }
-                            Some(tok) => {
-                                values.push((tok.tok_action)(&input[tok_start..rs]));
-                                control.push(Ctl::Reduce {
-                                    nt: n,
-                                    idx: idx as u32,
-                                });
-                                for &m in tok.tail.iter().rev() {
-                                    control.push(Ctl::Nt(m));
-                                }
-                            }
-                        }
-                    }
-                }
-            }
+    let mut m = Machine { fg, arena, skip };
+    match m.run(control, values, live, resume, input, true) {
+        Flow::Done => {
+            debug_assert_eq!(values.len(), 1, "parse must produce exactly one value");
+            Ok(values.pop().expect("parse produced no value"))
         }
+        Flow::NoMatch { pos, nt } => {
+            let (line, col) = line_col(input, pos);
+            Err(FusedParseError::NoMatch {
+                pos,
+                line,
+                col,
+                nt,
+                expected: m.expected_at(nt, &input[pos..]),
+            })
+        }
+        Flow::TrailingInput { pos } => {
+            let (line, col) = line_col(input, pos);
+            Err(FusedParseError::TrailingInput { pos, line, col })
+        }
+        Flow::More { .. } => unreachable!("one-shot parses never suspend"),
     }
-    pos = consume_trailing_skips(arena, skip, input, pos);
-    if pos != input.len() {
-        let (line, col) = line_col(input, pos);
-        values.clear();
-        return Err(FusedParseError::TrailingInput { pos, line, col });
-    }
-    debug_assert_eq!(values.len(), 1, "parse must produce exactly one value");
-    Ok(values.pop().expect("parse produced no value"))
 }
 
-/// Consumes trailing skippable lexemes (whitespace after the last
-/// token), mirroring a conventional lexer's behaviour at end of
-/// input.
-pub(crate) fn consume_trailing_skips(
-    arena: &mut RegexArena,
+/// Begins (or continues) a suspendable fused parse backed by
+/// caller-owned session state.
+///
+/// If `session` holds a stream suspended by *this* grammar (any
+/// clone — they share tables), the returned handle continues it;
+/// otherwise — fresh session, completed stream, or a suspension left
+/// by a different grammar — a fresh parse starts. (The arena must be
+/// the one the suspension's derivatives live in, i.e. the same
+/// lexer's; ids only guard the grammar.) Feed chunks with
+/// [`FusedStream::feed`] and signal end of input with
+/// [`FusedStream::finish`]:
+///
+/// ```
+/// use flap_cfe::Cfe;
+/// use flap_dgnf::normalize;
+/// use flap_fuse::{fuse, stream_fused, FusedSession, Step};
+/// use flap_lex::LexerBuilder;
+///
+/// let mut b = LexerBuilder::new();
+/// let num = b.token("num", "[0-9]+")?;
+/// let mut lexer = b.build()?;
+/// let g: Cfe<i64> = Cfe::tok_with(num, |lx| lx.len() as i64);
+/// let fused = fuse(&mut lexer, &normalize(&g)?)?;
+///
+/// let mut session = FusedSession::new();
+/// let skip = lexer.skip_regex();
+/// let mut s = stream_fused(&fused, lexer.arena_mut(), skip, &mut session);
+/// assert!(matches!(s.feed(b"12"), Step::NeedMore)); // "123…"? wait for more
+/// assert!(matches!(s.feed(b"3"), Step::NeedMore));
+/// match s.finish() {
+///     Step::Done(n) => assert_eq!(n, 3),
+///     other => panic!("{other:?}"),
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn stream_fused<'a, V>(
+    fg: &'a FusedGrammar<V>,
+    arena: &'a mut RegexArena,
     skip: Option<RegexId>,
-    input: &[u8],
-    mut pos: usize,
-) -> usize {
-    let Some(skip) = skip else { return pos };
-    loop {
-        let mut r = skip;
-        let mut best: Option<usize> = None;
-        let mut i = pos;
-        while i < input.len() && r != RegexArena::EMPTY {
-            r = arena.deriv(r, input[i]);
-            i += 1;
-            if arena.nullable(r) {
-                best = Some(i);
+    session: &'a mut FusedSession<V>,
+) -> FusedStream<'a, V> {
+    if !matches!(session.resume, Resume::Idle) && session.owner != fg.stream_id() {
+        // a suspension from some other grammar: its state indices
+        // would be meaningless here — abandon it
+        session.reset();
+    }
+    if matches!(session.resume, Resume::Idle) {
+        session.reset();
+        session.control.push(Ctl::Nt(fg.start()));
+        session.resume = Resume::Control;
+        session.owner = fg.stream_id();
+    }
+    FusedStream {
+        fg,
+        arena,
+        skip,
+        session,
+    }
+}
+
+/// A suspendable fused parse in progress; created by [`stream_fused`].
+///
+/// Dropping the handle mid-stream keeps the suspension in the
+/// session: call [`stream_fused`] again to continue, or
+/// [`FusedSession::reset`] to abandon.
+pub struct FusedStream<'a, V> {
+    fg: &'a FusedGrammar<V>,
+    arena: &'a mut RegexArena,
+    skip: Option<RegexId>,
+    session: &'a mut FusedSession<V>,
+}
+
+impl<V> FusedStream<'_, V> {
+    /// Feeds one chunk, returning [`Step::NeedMore`] or [`Step::Err`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream already completed (returned `Done` or
+    /// `Err`); start a new parse with [`stream_fused`] instead.
+    pub fn feed(&mut self, chunk: &[u8]) -> Step<V> {
+        assert!(
+            !matches!(self.session.resume, Resume::Idle),
+            "no active stream: the previous parse completed; call stream_fused again"
+        );
+        if self.session.stream.buf().is_empty() {
+            // no token tail retained: scan the caller's chunk in
+            // place and copy only what suspension must keep
+            self.step(Some(chunk), false)
+        } else {
+            self.session.stream.push_chunk(chunk);
+            self.step(None, false)
+        }
+    }
+
+    /// Signals end of input, returning [`Step::Done`] or
+    /// [`Step::Err`].
+    ///
+    /// # Panics
+    ///
+    /// As for [`FusedStream::feed`].
+    pub fn finish(mut self) -> Step<V> {
+        assert!(
+            !matches!(self.session.resume, Resume::Idle),
+            "no active stream: the previous parse completed; call stream_fused again"
+        );
+        self.step(None, true)
+    }
+
+    /// Drains `source` through [`FusedStream::feed`] and then
+    /// [`FusedStream::finish`] — parse an entire [`ByteSource`].
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError`] on either an I/O failure of the source or a
+    /// parse failure of the input.
+    pub fn parse_source(mut self, source: &mut impl ByteSource) -> Result<V, StreamError> {
+        while let Some(chunk) = source.next_chunk()? {
+            match self.feed(chunk) {
+                Step::NeedMore => {}
+                Step::Err(e) => return Err(StreamError::Parse(e)),
+                Step::Done(_) => unreachable!("feed never completes a parse"),
             }
         }
-        match best {
-            Some(end) if end > pos => pos = end,
-            _ => return pos,
+        match self.finish() {
+            Step::Done(v) => Ok(v),
+            Step::Err(e) => Err(StreamError::Parse(e)),
+            Step::NeedMore => unreachable!("finish never suspends"),
+        }
+    }
+
+    /// One stepper run over either the retained buffer (`chunk ==
+    /// None`) or a caller's chunk scanned in place (fast path, buffer
+    /// empty). Either way `bytes[0]` sits at the stream's global
+    /// offset.
+    fn step(&mut self, chunk: Option<&[u8]>, last: bool) -> Step<V> {
+        let FusedSession {
+            control,
+            values,
+            live,
+            resume,
+            stream,
+            ..
+        } = &mut *self.session;
+        let mut m = Machine {
+            fg: self.fg,
+            arena: &mut *self.arena,
+            skip: self.skip,
+        };
+        let flow = match chunk {
+            Some(c) => m.run(control, values, live, resume, c, last),
+            None => m.run(control, values, live, resume, stream.buf(), last),
+        };
+        match flow {
+            Flow::More { keep_from } => {
+                match chunk {
+                    Some(c) => stream.absorb(c, keep_from),
+                    None => stream.consume(keep_from),
+                }
+                Step::NeedMore
+            }
+            Flow::Done => {
+                debug_assert_eq!(values.len(), 1, "parse must produce exactly one value");
+                let v = values.pop().expect("parse produced no value");
+                stream.reset();
+                Step::Done(v)
+            }
+            Flow::NoMatch { pos, nt } => {
+                let bytes = chunk.unwrap_or_else(|| stream.buf());
+                let (line, col) = stream.line_col_in(bytes, pos);
+                let err = FusedParseError::NoMatch {
+                    pos: stream.global(pos),
+                    line,
+                    col,
+                    nt,
+                    expected: m.expected_at(nt, &bytes[pos..]),
+                };
+                stream.reset();
+                Step::Err(err)
+            }
+            Flow::TrailingInput { pos } => {
+                let bytes = chunk.unwrap_or_else(|| stream.buf());
+                let (line, col) = stream.line_col_in(bytes, pos);
+                let err = FusedParseError::TrailingInput {
+                    pos: stream.global(pos),
+                    line,
+                    col,
+                };
+                stream.reset();
+                Step::Err(err)
+            }
         }
     }
 }
@@ -410,6 +892,64 @@ mod tests {
     }
 
     #[test]
+    fn chunked_stream_agrees_with_one_shot() {
+        let (mut lexer, fused) = sexp_setup();
+        let skip = lexer.skip_regex();
+        let mut session = FusedSession::new();
+        for input in [
+            &b"(a (b c))"[..],
+            b"a",
+            b"  ( a\n(b) )  ",
+            b"(longatom (another) end)",
+            b"(a",
+            b")",
+            b"",
+            b"a b",
+            b"(a) !",
+        ] {
+            let expected = parse_fused(&fused, lexer.arena_mut(), skip, input);
+            for chunk in [1usize, 2, 3, 7] {
+                let mut s = stream_fused(&fused, lexer.arena_mut(), skip, &mut session);
+                let mut result = None;
+                for piece in input.chunks(chunk) {
+                    match s.feed(piece) {
+                        Step::NeedMore => {}
+                        Step::Err(e) => {
+                            result = Some(Err(e));
+                            break;
+                        }
+                        Step::Done(_) => unreachable!(),
+                    }
+                }
+                let result = result.unwrap_or_else(|| match s.finish() {
+                    Step::Done(v) => Ok(v),
+                    Step::Err(e) => Err(e),
+                    Step::NeedMore => unreachable!(),
+                });
+                assert_eq!(result, expected, "chunk={chunk} on {input:?}");
+                session.reset(); // abandon any suspension left by early errors
+            }
+        }
+    }
+
+    #[test]
+    fn stream_parse_source_drives_byte_sources() {
+        use crate::stream::{ReadSource, SliceChunks};
+        let (mut lexer, fused) = sexp_setup();
+        let skip = lexer.skip_regex();
+        let mut session = FusedSession::new();
+        let input = b"(a (b c) (d e f))";
+
+        let s = stream_fused(&fused, lexer.arena_mut(), skip, &mut session);
+        let v = s.parse_source(&mut SliceChunks::new(input, 3)).unwrap();
+        assert_eq!(v, 6);
+
+        let s = stream_fused(&fused, lexer.arena_mut(), skip, &mut session);
+        let mut src = ReadSource::with_capacity(std::io::Cursor::new(&input[..]), 5);
+        assert_eq!(s.parse_source(&mut src).unwrap(), 6);
+    }
+
+    #[test]
     fn line_col_computation() {
         assert_eq!(line_col(b"abc", 0), (1, 1));
         assert_eq!(line_col(b"abc", 2), (1, 3));
@@ -425,10 +965,10 @@ mod tests {
     fn errors_report_line_and_column() {
         // error on line 2: the second `(` is never closed
         let err = count(b"(a b\n(c").unwrap_err();
-        match err {
+        match &err {
             FusedParseError::NoMatch { line, col, .. } => {
-                assert_eq!(line, 2, "{err}");
-                assert!(col >= 1, "{err}");
+                assert_eq!(*line, 2, "{err}");
+                assert!(*col >= 1, "{err}");
             }
             other => panic!("expected NoMatch, got {other:?}"),
         }
@@ -447,6 +987,50 @@ mod tests {
             "{err:?}"
         );
         assert!(err.to_string().contains("line 2, column 1"), "{err}");
+    }
+
+    #[test]
+    fn errors_report_expected_tokens() {
+        // at end of "(a" the sexps loop has taken its ε-lookahead,
+        // so the failing nonterminal is the one demanding `)`
+        let err = count(b"(a").unwrap_err();
+        let expected = err.expected().expect("NoMatch carries expected set");
+        let names: Vec<&str> = expected.names().collect();
+        assert_eq!(names, ["rpar"], "{err}");
+        assert!(err.to_string().contains("expected one of"), "{err}");
+
+        // at the very start every production of sexp is live
+        let err = count(b"").unwrap_err();
+        let names: Vec<&str> = err.expected().unwrap().names().collect();
+        assert!(names.contains(&"atom"), "{names:?}");
+        assert!(names.contains(&"lpar"), "{names:?}");
+
+        // a scan that dies mid-token reports only the productions
+        // that survived the consumed prefix
+        let mut b = LexerBuilder::new();
+        let ab = b.token("ab", "ab").unwrap();
+        let cd = b.token("cd", "cd").unwrap();
+        let mut lexer = b.build().unwrap();
+        let g: Cfe<i64> = Cfe::tok_val(ab, 1).or(Cfe::tok_val(cd, 2));
+        let fused = fuse(&mut lexer, &normalize(&g).unwrap()).unwrap();
+        let skip = lexer.skip_regex();
+        let err = parse_fused(&fused, lexer.arena_mut(), skip, b"ax").unwrap_err();
+        let names: Vec<&str> = err.expected().unwrap().names().collect();
+        assert_eq!(names, ["ab"], "{err}");
+        let err = parse_fused(&fused, lexer.arena_mut(), skip, b"x").unwrap_err();
+        let names: Vec<&str> = err.expected().unwrap().names().collect();
+        assert_eq!(names, ["ab", "cd"], "{err}");
+    }
+
+    #[test]
+    fn render_snippet_points_at_the_failure() {
+        let input = b"(a b\n(c !\nd)";
+        let err = count(input).unwrap_err();
+        let snippet = err.render_snippet(input);
+        assert!(snippet.contains("2 | (c !"), "{snippet}");
+        let caret_line = snippet.lines().last().unwrap();
+        let (_, col) = err.line_col();
+        assert_eq!(caret_line.find('^').unwrap(), 3 + col - 1 + 1, "{snippet}");
     }
 
     #[test]
@@ -541,5 +1125,17 @@ mod tests {
             3
         );
         assert!(parse_fused(&fused, lexer.arena_mut(), skip, b"\"a\",").is_err());
+
+        // the quoted-field lexeme straddling chunk boundaries must
+        // still reach the action as one contiguous slice
+        let mut session = FusedSession::new();
+        let input = b"\"a\",\"b\"\"c\",\"\"";
+        for chunk in 1..=4usize {
+            let s = stream_fused(&fused, lexer.arena_mut(), skip, &mut session);
+            let v = s
+                .parse_source(&mut crate::stream::SliceChunks::new(input, chunk))
+                .unwrap();
+            assert_eq!(v, 3, "chunk={chunk}");
+        }
     }
 }

@@ -26,8 +26,8 @@ use std::sync::Arc;
 
 use flap_cfe::TokAction;
 use flap_dgnf::Reduce;
-use flap_fuse::FusedGrammar;
-use flap_lex::Lexer;
+use flap_fuse::{Expected, FusedGrammar};
+use flap_lex::{Lexer, Token};
 use flap_regex::{ByteSet, ClassCache, RegexArena, RegexId};
 
 /// Transition-table entry: `STOP`, or a target state with a *mark*
@@ -98,6 +98,15 @@ pub struct CompiledParser<V> {
     /// skippable input; `None` when the lexer had no skip rule.
     pub(crate) skip: Option<flap_regex::Dfa>,
     pub(crate) start_nt: u32,
+    /// Streaming-owner id (`flap_fuse::stream::next_owner_id`):
+    /// suspended sessions record it so they cannot be resumed
+    /// against a different parser's tables.
+    pub(crate) stream_id: u64,
+    /// Per-state expected-token sets for `NoMatch` diagnostics: the
+    /// names of the token productions still live in each state,
+    /// precomputed here so error construction at parse time is a
+    /// clone of inline `Arc`s — no allocation on the error path.
+    pub(crate) state_expected: Vec<Expected>,
 }
 
 impl<V> CompiledParser<V> {
@@ -122,6 +131,7 @@ impl<V> CompiledParser<V> {
         // Flatten productions and pre-allocate per-NT tables.
         let nt_count = fused.nt_count();
         let mut prods: Vec<CompiledProd<V>> = Vec::new();
+        let mut prod_token: Vec<Option<Token>> = Vec::new();
         let mut eps: Vec<Option<Reduce<V>>> = Vec::with_capacity(nt_count);
         let mut per_nt_prods: Vec<Vec<(RegexId, u32)>> = Vec::with_capacity(nt_count);
         for nt in fused.nts() {
@@ -139,6 +149,7 @@ impl<V> CompiledParser<V> {
                         tail: t.tail.iter().map(|m| m.index() as u32).collect(),
                     }),
                 }
+                prod_token.push(p.token.as_ref().map(|t| t.token));
                 list.push((p.regex, flat));
             }
             per_nt_prods.push(list);
@@ -158,6 +169,20 @@ impl<V> CompiledParser<V> {
         }
         c.run();
 
+        // Expected-set per state: the token productions of a state's
+        // live derivative vector, in production order. Equal by
+        // construction to what the unstaged interpreter's failure
+        // replay reports, so staged/unstaged errors stay comparable.
+        let mut state_expected = vec![Expected::none(); c.states.len()];
+        for ((live, _k), &id) in &c.memo {
+            let e = &mut state_expected[id as usize];
+            for &(_, prod) in live {
+                if let Some(t) = prod_token[prod as usize] {
+                    e.push(fused.token_name_arc(t));
+                }
+            }
+        }
+
         // Flatten for the VM: one contiguous table, one load per byte.
         let mut trans = vec![STOP; c.states.len() << 8];
         let mut stops = Vec::with_capacity(c.states.len());
@@ -176,6 +201,8 @@ impl<V> CompiledParser<V> {
             eps,
             skip,
             start_nt: fused.start().index() as u32,
+            stream_id: flap_fuse::stream::next_owner_id(),
+            state_expected,
         }
     }
 

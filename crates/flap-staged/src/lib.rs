@@ -87,6 +87,10 @@
 //! ```
 
 #![warn(missing_docs)]
+// Parse errors inline their expected-token set so error construction
+// never allocates (see flap-fuse); the larger Err variant is a
+// deliberate tradeoff, constructed once per failed parse.
+#![allow(clippy::result_large_err)]
 
 pub mod codegen;
 mod compile;
@@ -95,4 +99,8 @@ mod vm;
 
 pub use compile::{CompiledParser, State, StopAction};
 pub use metrics::{measure_pipeline, CompileTimes, SizeReport};
-pub use vm::ParseSession;
+pub use vm::{ParseSession, StreamParse};
+
+// The streaming vocabulary shared with `flap-fuse`, re-exported so
+// staged users need only this crate.
+pub use flap_fuse::{ByteSource, Expected, IterSource, ReadSource, SliceChunks, Step, StreamError};

@@ -7,21 +7,47 @@
 //! stack instead of making nested calls, so deeply nested inputs
 //! cannot overflow the machine stack.
 //!
+//! ### One resumable hot loop
+//!
+//! The VM is a *stepper*: it runs the automaton over whatever
+//! contiguous bytes it is given, and when they run out before end of
+//! input it suspends — current state, longest match so far, pending
+//! continuation — into the caller's [`ParseSession`] and reports how
+//! many bytes it fully consumed. Every entry point is a wrapper over
+//! that one loop: the one-shot [`CompiledParser::parse`] /
+//! [`CompiledParser::parse_with`] / [`CompiledParser::recognize`]
+//! hand it the whole slice with the end-of-input flag set (no
+//! buffering, no copying), while [`CompiledParser::stream`] feeds it
+//! chunk by chunk for network-style workloads.
+//!
+//! ### The chunk-boundary token-tail invariant
+//!
+//! Token actions receive their lexeme as one contiguous slice
+//! (`tok_action(&input[tok_start..rs])`). A suspended session
+//! therefore retains every byte from the start of the in-progress
+//! token onward in its [`StreamState`] buffer; the next feed appends
+//! its chunk after that tail and resumes the scan mid-token, so a
+//! lexeme straddling any number of chunk boundaries is still handed
+//! to the action in one piece. Fully parsed bytes are dropped at each
+//! suspension (their newlines folded into incremental line/column
+//! accounting), which bounds streaming memory by one chunk plus the
+//! longest lexeme — never the whole input.
+//!
 //! ### Allocation discipline
 //!
 //! All tables are preallocated at compile time, and all *per-parse*
-//! mutable state — the control stack and the value stack — lives in a
-//! caller-owned [`ParseSession`]. Parsing through
-//! [`CompiledParser::parse_with`] with a reused session performs no
-//! allocation on the hot path once the session's stacks have grown to
-//! the workload's high-water mark; semantic values are built only by
-//! the user's own actions — the "no allocation, except where these
-//! elements are inserted by the user" property of §2.8. The
-//! convenience [`CompiledParser::parse`] allocates a fresh session per
-//! call; servers and benchmarks should hold one session per worker
-//! thread and reuse it.
+//! mutable state — control stack, value stack, suspension point,
+//! retained tail — lives in a caller-owned [`ParseSession`]. Parsing
+//! through [`CompiledParser::parse_with`] (or feeding a stream) with
+//! a reused session performs no allocation on the hot path once the
+//! session's buffers have grown to the workload's high-water mark;
+//! semantic values are built only by the user's own actions — the
+//! "no allocation, except where these elements are inserted by the
+//! user" property of §2.8. The convenience [`CompiledParser::parse`]
+//! allocates a fresh session per call; servers and benchmarks should
+//! hold one session per worker thread and reuse it.
 
-use flap_fuse::{line_col, FusedParseError};
+use flap_fuse::{line_col, ByteSource, FusedParseError, Step, StreamError, StreamState};
 
 use crate::compile::{CompiledParser, CompiledProd, StopAction, STOP};
 
@@ -33,8 +59,51 @@ pub(crate) enum Ctl {
     Reduce(u32),
 }
 
-/// Caller-owned per-parse scratch state: the control stack and the
-/// value stack of the Fig 10 machine.
+/// Where a suspended parse resumes — the automaton position saved
+/// when a feed runs out of bytes.
+#[derive(Clone, Copy)]
+enum Resume {
+    /// No stream is active (fresh session, or the last parse ended).
+    Idle,
+    /// At the top of the control loop, about to pop the next entry.
+    Control,
+    /// Mid-scan of one token of `nt`: the first `scanned` buffered
+    /// bytes have been fed to the automaton (now in state `st`), and
+    /// the longest match so far is `rs_len` bytes.
+    Token {
+        nt: u32,
+        st: u32,
+        rs_len: usize,
+        scanned: usize,
+    },
+    /// Mid-scan of one trailing skip lexeme in the skip DFA.
+    Trailing {
+        st: u32,
+        best_len: usize,
+        scanned: usize,
+    },
+}
+
+/// What one run of the stepper produced. Positions are relative to
+/// the byte slice the stepper was given; wrappers translate them to
+/// global stream offsets and line/columns.
+enum Flow {
+    /// Out of bytes before end of input (only when `last == false`):
+    /// everything before `keep_from` is fully consumed; the caller
+    /// must retain the rest (the in-progress token's tail).
+    More { keep_from: usize },
+    /// Parse and trailing skips completed exactly at end of input.
+    Done,
+    /// No production of `nt` matched at `pos`; `state` identifies the
+    /// automaton state whose live set is the expected-token report.
+    NoMatch { pos: usize, nt: u32, state: u32 },
+    /// The start symbol completed but non-skippable input remains.
+    TrailingInput { pos: usize },
+}
+
+/// Caller-owned per-parse scratch state: the control stack and value
+/// stack of the Fig 10 machine, plus the suspension point and
+/// retained byte tail of an in-progress streaming parse.
 ///
 /// A [`CompiledParser`] is immutable (and `Send + Sync`) after
 /// compilation; every piece of state that parsing mutates lives here
@@ -66,6 +135,13 @@ pub(crate) enum Ctl {
 pub struct ParseSession<V> {
     pub(crate) control: Vec<Ctl>,
     pub(crate) values: Vec<V>,
+    /// Suspension point of an in-progress streaming parse.
+    resume: Resume,
+    /// `stream_id` of the parser that created the suspension, so a
+    /// suspended session cannot be resumed against different tables.
+    owner: u64,
+    /// Retained bytes + line/column accounting for streaming.
+    stream: StreamState,
 }
 
 impl<V> ParseSession<V> {
@@ -75,6 +151,9 @@ impl<V> ParseSession<V> {
         ParseSession {
             control: Vec::new(),
             values: Vec::new(),
+            resume: Resume::Idle,
+            owner: 0,
+            stream: StreamState::new(),
         }
     }
 
@@ -85,6 +164,9 @@ impl<V> ParseSession<V> {
         ParseSession {
             control: Vec::with_capacity(control),
             values: Vec::with_capacity(values),
+            resume: Resume::Idle,
+            owner: 0,
+            stream: StreamState::new(),
         }
     }
 
@@ -93,6 +175,25 @@ impl<V> ParseSession<V> {
     /// steady-state behaviour.
     pub fn capacities(&self) -> (usize, usize) {
         (self.control.capacity(), self.values.capacity())
+    }
+
+    /// Abandons any suspended stream and clears all per-parse state,
+    /// retaining buffer capacity.
+    pub fn reset(&mut self) {
+        self.control.clear();
+        self.values.clear();
+        self.resume = Resume::Idle;
+        self.owner = 0;
+        self.stream.reset();
+    }
+
+    /// Starts a fresh parse of `start_nt` in this session, owned by
+    /// the parser with streaming id `owner`.
+    fn begin(&mut self, start_nt: u32, owner: u64) {
+        self.reset();
+        self.control.push(Ctl::Nt(start_nt));
+        self.resume = Resume::Control;
+        self.owner = owner;
     }
 }
 
@@ -103,6 +204,226 @@ impl<V> Default for ParseSession<V> {
 }
 
 impl<V> CompiledParser<V> {
+    /// The resumable Fig 10 stepper — the single hot loop behind
+    /// every parse entry point.
+    ///
+    /// Runs the automaton over `input` until it needs more bytes
+    /// (`last == false`), finishes, or fails. With `ACTIONS == false`
+    /// semantic actions (and the value stack) are skipped entirely,
+    /// which is what [`CompiledParser::recognize`] measures.
+    fn engine<const ACTIONS: bool>(
+        &self,
+        control: &mut Vec<Ctl>,
+        values: &mut Vec<V>,
+        resume: &mut Resume,
+        input: &[u8],
+        last: bool,
+    ) -> Flow {
+        let mut pos = 0usize;
+        if !matches!(*resume, Resume::Trailing { .. }) {
+            let mut suspended = match *resume {
+                Resume::Token {
+                    nt,
+                    st,
+                    rs_len,
+                    scanned,
+                } => Some((nt, st as usize, rs_len, scanned)),
+                _ => None,
+            };
+            'outer: loop {
+                // Resume a suspended scan (the token tail starts at
+                // buffer offset 0 by the retention invariant), or pop
+                // the next control entry and start a fresh one.
+                let (nt, mut tok_start, mut st, mut rs, mut i) = match suspended.take() {
+                    Some((nt, st, rs_len, scanned)) => (nt, 0, st, rs_len, scanned),
+                    None => match control.pop() {
+                        None => break 'outer,
+                        Some(Ctl::Reduce(p)) => {
+                            if ACTIONS {
+                                match &self.prods[p as usize] {
+                                    CompiledProd::Token { reduce, .. } => reduce.run(values),
+                                    CompiledProd::Skip { .. } => {
+                                        unreachable!("skip has no reduce")
+                                    }
+                                }
+                            }
+                            continue 'outer;
+                        }
+                        Some(Ctl::Nt(nt)) => {
+                            (nt, pos, self.nt_start[nt as usize] as usize, pos, pos)
+                        }
+                    },
+                };
+                // skip productions (F2 self-loops) restart the scan
+                // inline, without a control-stack round trip
+                'token: loop {
+                    let stop = loop {
+                        if i >= input.len() {
+                            if last {
+                                break self.stops[st];
+                            }
+                            // Out of bytes with the scan still live:
+                            // a longer match may arrive in the next
+                            // chunk. Suspend, retaining the token's
+                            // bytes from tok_start on.
+                            *resume = Resume::Token {
+                                nt,
+                                st: st as u32,
+                                rs_len: rs - tok_start,
+                                scanned: i - tok_start,
+                            };
+                            return Flow::More {
+                                keep_from: tok_start,
+                            };
+                        }
+                        let e = self.trans[(st << 8) | input[i] as usize];
+                        if e == STOP {
+                            break self.stops[st];
+                        }
+                        i += 1;
+                        if e & 1 == 1 {
+                            rs = i;
+                        }
+                        st = (e >> 1) as usize;
+                    };
+                    match stop {
+                        StopAction::Fail => {
+                            // drop partially-reduced values now
+                            // rather than holding them until the
+                            // session's next parse
+                            control.clear();
+                            values.clear();
+                            *resume = Resume::Idle;
+                            return Flow::NoMatch {
+                                pos: tok_start,
+                                nt,
+                                state: st as u32,
+                            };
+                        }
+                        StopAction::Eps(n) => {
+                            if ACTIONS {
+                                let eps = self.eps[n as usize]
+                                    .as_ref()
+                                    .expect("Eps stop action implies an ε rule");
+                                eps.run(values);
+                            }
+                            pos = tok_start;
+                            continue 'outer;
+                        }
+                        StopAction::Match(p) => {
+                            pos = rs;
+                            match &self.prods[p as usize] {
+                                CompiledProd::Skip { .. } => {
+                                    tok_start = pos;
+                                    st = self.nt_start[nt as usize] as usize;
+                                    rs = pos;
+                                    i = pos;
+                                    continue 'token;
+                                }
+                                CompiledProd::Token {
+                                    tok_action,
+                                    tail,
+                                    reduce,
+                                } => {
+                                    if ACTIONS {
+                                        values.push(tok_action(&input[tok_start..rs]));
+                                        // identity reductions (plain
+                                        // `n → t`) need no round trip
+                                        if !reduce.is_identity() {
+                                            control.push(Ctl::Reduce(p));
+                                        }
+                                    }
+                                    for &m in tail.iter().rev() {
+                                        control.push(Ctl::Nt(m));
+                                    }
+                                    continue 'outer;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Control exhausted (or resuming here): consume trailing
+        // skippable lexemes, then require end of input.
+        let Some(skip) = &self.skip else {
+            let at = if matches!(*resume, Resume::Trailing { .. }) {
+                0
+            } else {
+                pos
+            };
+            if at < input.len() {
+                control.clear();
+                values.clear();
+                *resume = Resume::Idle;
+                return Flow::TrailingInput { pos: at };
+            }
+            if !last {
+                *resume = Resume::Trailing {
+                    st: 0,
+                    best_len: 0,
+                    scanned: 0,
+                };
+                return Flow::More { keep_from: at };
+            }
+            *resume = Resume::Idle;
+            return Flow::Done;
+        };
+        let states = skip.states();
+        let (mut tok_start, mut st, mut best, mut i) = match *resume {
+            Resume::Trailing {
+                st,
+                best_len,
+                scanned,
+            } => (0, st as usize, best_len, scanned),
+            _ => (pos, 0, 0, pos),
+        };
+        loop {
+            // longest-match scan of one skip lexeme from tok_start
+            loop {
+                if i >= input.len() {
+                    if last {
+                        break;
+                    }
+                    *resume = Resume::Trailing {
+                        st: st as u32,
+                        best_len: best,
+                        scanned: i - tok_start,
+                    };
+                    return Flow::More {
+                        keep_from: tok_start,
+                    };
+                }
+                let next = states[st].next[input[i] as usize] as usize;
+                if states[next].regex == flap_regex::RegexArena::EMPTY {
+                    break;
+                }
+                i += 1;
+                st = next;
+                if states[st].accepting {
+                    best = i - tok_start;
+                }
+            }
+            if best == 0 {
+                break;
+            }
+            // commit the lexeme; rescan any lookahead bytes beyond it
+            tok_start += best;
+            i = tok_start;
+            st = 0;
+            best = 0;
+        }
+        if tok_start < input.len() {
+            control.clear();
+            values.clear();
+            *resume = Resume::Idle;
+            return Flow::TrailingInput { pos: tok_start };
+        }
+        *resume = Resume::Idle;
+        Flow::Done
+    }
+
     /// Parses the whole input, returning the semantic value.
     ///
     /// Convenience wrapper over [`CompiledParser::parse_with`] that
@@ -121,14 +442,17 @@ impl<V> CompiledParser<V> {
     }
 
     /// Parses the whole input using caller-owned scratch state — the
-    /// allocation-free entry point.
+    /// allocation-free entry point, a thin wrapper handing the
+    /// resumable stepper the whole slice at once (no buffering, no
+    /// copying).
     ///
     /// `&self` is shared: one compiled parser can run concurrently on
     /// any number of threads, each holding its own session. The
-    /// session is cleared on entry, so sessions can be reused freely
-    /// after both successful and failed parses; failed parses also
-    /// clear their partially-built value stack before returning, so
-    /// an idle session never pins semantic values.
+    /// session is cleared on entry (abandoning any suspended stream),
+    /// so sessions can be reused freely after both successful and
+    /// failed parses; failed parses also clear their partially-built
+    /// value stack before returning, so an idle session never pins
+    /// semantic values.
     ///
     /// # Errors
     ///
@@ -138,179 +462,284 @@ impl<V> CompiledParser<V> {
         session: &mut ParseSession<V>,
         input: &[u8],
     ) -> Result<V, FusedParseError> {
-        let ParseSession { control, values } = session;
-        control.clear();
-        values.clear();
-        control.push(Ctl::Nt(self.start_nt));
-        let mut pos = 0usize;
-
-        while let Some(ctl) = control.pop() {
-            match ctl {
-                Ctl::Reduce(p) => match &self.prods[p as usize] {
-                    CompiledProd::Token { reduce, .. } => reduce.run(values),
-                    CompiledProd::Skip { .. } => unreachable!("skip has no reduce"),
-                },
-                Ctl::Nt(nt) => {
-                    let start_state = self.nt_start[nt as usize] as usize;
-                    // skip productions (F2 self-loops) restart the
-                    // scan inline, without a control-stack round trip
-                    'token: loop {
-                        let tok_start = pos;
-                        let mut st = start_state;
-                        let mut rs = pos;
-                        let mut i = pos;
-                        let stop = loop {
-                            if i >= input.len() {
-                                break self.stops[st];
-                            }
-                            let e = self.trans[(st << 8) | input[i] as usize];
-                            if e == STOP {
-                                break self.stops[st];
-                            }
-                            i += 1;
-                            if e & 1 == 1 {
-                                rs = i;
-                            }
-                            st = (e >> 1) as usize;
-                        };
-                        match stop {
-                            StopAction::Fail => {
-                                let (line, col) = line_col(input, tok_start);
-                                // drop partially-reduced values now
-                                // rather than holding them until the
-                                // session's next parse
-                                control.clear();
-                                values.clear();
-                                return Err(FusedParseError::NoMatch {
-                                    pos: tok_start,
-                                    line,
-                                    col,
-                                    nt: flap_dgnf::NtId::from_index(nt as usize),
-                                });
-                            }
-                            StopAction::Eps(n) => {
-                                let eps = self.eps[n as usize]
-                                    .as_ref()
-                                    .expect("Eps stop action implies an ε rule");
-                                eps.run(values);
-                                pos = tok_start;
-                                break 'token;
-                            }
-                            StopAction::Match(p) => {
-                                pos = rs;
-                                match &self.prods[p as usize] {
-                                    CompiledProd::Skip { .. } => continue 'token,
-                                    CompiledProd::Token {
-                                        tok_action,
-                                        tail,
-                                        reduce,
-                                    } => {
-                                        values.push(tok_action(&input[tok_start..rs]));
-                                        // identity reductions (plain
-                                        // `n → t`) need no round trip
-                                        if !reduce.is_identity() {
-                                            control.push(Ctl::Reduce(p));
-                                        }
-                                        for &m in tail.iter().rev() {
-                                            control.push(Ctl::Nt(m));
-                                        }
-                                        break 'token;
-                                    }
-                                }
-                            }
-                        }
-                    }
-                }
+        session.begin(self.start_nt, self.stream_id);
+        let ParseSession {
+            control,
+            values,
+            resume,
+            ..
+        } = session;
+        match self.engine::<true>(control, values, resume, input, true) {
+            Flow::Done => {
+                debug_assert_eq!(values.len(), 1, "parse must produce exactly one value");
+                Ok(values.pop().expect("parse produced no value"))
             }
+            Flow::NoMatch { pos, nt, state } => {
+                let (line, col) = line_col(input, pos);
+                Err(self.no_match(pos, line, col, nt, state))
+            }
+            Flow::TrailingInput { pos } => {
+                let (line, col) = line_col(input, pos);
+                Err(FusedParseError::TrailingInput { pos, line, col })
+            }
+            Flow::More { .. } => unreachable!("one-shot parses never suspend"),
         }
-        pos = self.trailing(input, pos);
-        if pos != input.len() {
-            let (line, col) = line_col(input, pos);
-            values.clear();
-            return Err(FusedParseError::TrailingInput { pos, line, col });
-        }
-        debug_assert_eq!(values.len(), 1, "parse must produce exactly one value");
-        Ok(values.pop().expect("parse produced no value"))
     }
 
     /// Recognizes the input without running any semantic action —
     /// the pure cost of fused, staged scanning (used by the ablation
-    /// benchmarks to separate action cost from parsing cost).
+    /// benchmarks to separate action cost from parsing cost). Runs
+    /// the same stepper as [`CompiledParser::parse_with`] with
+    /// actions compiled out.
     ///
     /// # Errors
     ///
     /// [`FusedParseError`], as for [`CompiledParser::parse`].
     pub fn recognize(&self, input: &[u8]) -> Result<(), FusedParseError> {
-        let mut control: Vec<u32> = vec![self.start_nt];
-        let mut pos = 0usize;
-        while let Some(nt) = control.pop() {
-            let start_state = self.nt_start[nt as usize] as usize;
-            'token: loop {
-                let tok_start = pos;
-                let mut st = start_state;
-                let mut rs = pos;
-                let mut i = pos;
-                let stop = loop {
-                    if i >= input.len() {
-                        break self.stops[st];
-                    }
-                    let e = self.trans[(st << 8) | input[i] as usize];
-                    if e == STOP {
-                        break self.stops[st];
-                    }
-                    i += 1;
-                    if e & 1 == 1 {
-                        rs = i;
-                    }
-                    st = (e >> 1) as usize;
-                };
-                match stop {
-                    StopAction::Fail => {
-                        let (line, col) = line_col(input, tok_start);
-                        return Err(FusedParseError::NoMatch {
-                            pos: tok_start,
-                            line,
-                            col,
-                            nt: flap_dgnf::NtId::from_index(nt as usize),
-                        });
-                    }
-                    StopAction::Eps(_) => {
-                        pos = tok_start;
-                        break 'token;
-                    }
-                    StopAction::Match(p) => {
-                        pos = rs;
-                        match &self.prods[p as usize] {
-                            CompiledProd::Skip { .. } => continue 'token,
-                            CompiledProd::Token { tail, .. } => {
-                                for &m in tail.iter().rev() {
-                                    control.push(m);
-                                }
-                                break 'token;
-                            }
-                        }
-                    }
-                }
+        let mut session: ParseSession<V> = ParseSession::new();
+        session.begin(self.start_nt, self.stream_id);
+        let ParseSession {
+            control,
+            values,
+            resume,
+            ..
+        } = &mut session;
+        match self.engine::<false>(control, values, resume, input, true) {
+            Flow::Done => Ok(()),
+            Flow::NoMatch { pos, nt, state } => {
+                let (line, col) = line_col(input, pos);
+                Err(self.no_match(pos, line, col, nt, state))
             }
+            Flow::TrailingInput { pos } => {
+                let (line, col) = line_col(input, pos);
+                Err(FusedParseError::TrailingInput { pos, line, col })
+            }
+            Flow::More { .. } => unreachable!("one-shot parses never suspend"),
         }
-        pos = self.trailing(input, pos);
-        if pos != input.len() {
-            let (line, col) = line_col(input, pos);
-            return Err(FusedParseError::TrailingInput { pos, line, col });
-        }
-        Ok(())
     }
 
-    fn trailing(&self, input: &[u8], mut pos: usize) -> usize {
-        if let Some(skip) = &self.skip {
-            while pos < input.len() {
-                match skip.longest_match(&input[pos..]) {
-                    Some(n) if n > 0 => pos += n,
-                    _ => break,
-                }
+    /// Begins (or continues) a suspendable streaming parse backed by
+    /// caller-owned session state.
+    ///
+    /// If `session` holds a stream suspended by an earlier handle of
+    /// *this* parser, the returned handle continues it; otherwise —
+    /// fresh session, completed stream, or a suspension left by a
+    /// *different* parser (detected via a per-parser id, since its
+    /// state indices would be meaningless here) — a fresh parse
+    /// starts. Feed chunks with [`StreamParse::feed`] and
+    /// signal end of input with [`StreamParse::finish`]; the session
+    /// retains the automaton state, the partial-token byte tail and
+    /// the line/column accounting between feeds (see the module docs).
+    ///
+    /// ```
+    /// use flap_cfe::Cfe;
+    /// use flap_dgnf::normalize;
+    /// use flap_fuse::{fuse, Step};
+    /// use flap_lex::LexerBuilder;
+    /// use flap_staged::{CompiledParser, ParseSession};
+    ///
+    /// let mut b = LexerBuilder::new();
+    /// let num = b.token("num", "[0-9]+")?;
+    /// let mut lexer = b.build()?;
+    /// let g: Cfe<i64> = Cfe::tok_with(num, |lx| lx.len() as i64);
+    /// let fused = fuse(&mut lexer, &normalize(&g)?)?;
+    /// let parser = CompiledParser::compile(&mut lexer, &fused);
+    ///
+    /// let mut session = ParseSession::new();
+    /// let mut s = parser.stream(&mut session);
+    /// assert!(matches!(s.feed(b"12"), Step::NeedMore));
+    /// assert!(matches!(s.feed(b"345"), Step::NeedMore)); // one lexeme, three chunks
+    /// match s.finish() {
+    ///     Step::Done(n) => assert_eq!(n, 5),
+    ///     other => panic!("{other:?}"),
+    /// }
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn stream<'a>(&'a self, session: &'a mut ParseSession<V>) -> StreamParse<'a, V> {
+        if !matches!(session.resume, Resume::Idle) && session.owner != self.stream_id {
+            // a suspension from some other parser: abandon it
+            session.reset();
+        }
+        if matches!(session.resume, Resume::Idle) {
+            session.begin(self.start_nt, self.stream_id);
+        }
+        StreamParse {
+            parser: self,
+            session,
+        }
+    }
+
+    /// Parses an entire [`ByteSource`] through a streaming session:
+    /// pull chunks, feed them, finish at end of input.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError`] on either an I/O failure of the source or a
+    /// parse failure of the input.
+    pub fn parse_source_with(
+        &self,
+        session: &mut ParseSession<V>,
+        source: &mut impl ByteSource,
+    ) -> Result<V, StreamError> {
+        session.reset();
+        self.stream(session).parse_source(source)
+    }
+
+    /// As [`CompiledParser::parse_source_with`] with a fresh session
+    /// per call.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CompiledParser::parse_source_with`].
+    pub fn parse_source(&self, source: &mut impl ByteSource) -> Result<V, StreamError> {
+        self.parse_source_with(&mut ParseSession::new(), source)
+    }
+
+    /// Builds the `NoMatch` error for a failure in `state`, cloning
+    /// the state's precomputed expected set (inline `Arc`s — no
+    /// allocation).
+    fn no_match(
+        &self,
+        pos: usize,
+        line: usize,
+        col: usize,
+        nt: u32,
+        state: u32,
+    ) -> FusedParseError {
+        FusedParseError::NoMatch {
+            pos,
+            line,
+            col,
+            nt: flap_dgnf::NtId::from_index(nt as usize),
+            expected: self.state_expected[state as usize].clone(),
+        }
+    }
+}
+
+/// A suspendable streaming parse in progress; created by
+/// [`CompiledParser::stream`].
+///
+/// Dropping the handle mid-stream keeps the suspension in the
+/// session: call [`CompiledParser::stream`] again (on the same
+/// parser) to continue, or [`ParseSession::reset`] to abandon.
+pub struct StreamParse<'a, V> {
+    parser: &'a CompiledParser<V>,
+    session: &'a mut ParseSession<V>,
+}
+
+impl<V> StreamParse<'_, V> {
+    /// Feeds one chunk, returning [`Step::NeedMore`] or [`Step::Err`].
+    ///
+    /// Errors are reported as soon as they are provable — a dead
+    /// byte fails at the feed that contains it, without waiting for
+    /// end of input — with positions and line/columns identical to a
+    /// one-shot parse of the concatenated input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream already completed (returned `Done` or
+    /// `Err`); start a new parse with [`CompiledParser::stream`].
+    pub fn feed(&mut self, chunk: &[u8]) -> Step<V> {
+        assert!(
+            !matches!(self.session.resume, Resume::Idle),
+            "no active stream: the previous parse completed; call stream() again"
+        );
+        if self.session.stream.buf().is_empty() {
+            // no token tail retained: scan the caller's chunk in
+            // place and copy only what suspension must keep
+            self.step(Some(chunk), false)
+        } else {
+            self.session.stream.push_chunk(chunk);
+            self.step(None, false)
+        }
+    }
+
+    /// Signals end of input, returning [`Step::Done`] or
+    /// [`Step::Err`].
+    ///
+    /// # Panics
+    ///
+    /// As for [`StreamParse::feed`].
+    pub fn finish(mut self) -> Step<V> {
+        assert!(
+            !matches!(self.session.resume, Resume::Idle),
+            "no active stream: the previous parse completed; call stream() again"
+        );
+        self.step(None, true)
+    }
+
+    /// Drains `source` through [`StreamParse::feed`] and then
+    /// [`StreamParse::finish`].
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError`] on either an I/O failure of the source or a
+    /// parse failure of the input.
+    pub fn parse_source(mut self, source: &mut impl ByteSource) -> Result<V, StreamError> {
+        while let Some(chunk) = source.next_chunk()? {
+            match self.feed(chunk) {
+                Step::NeedMore => {}
+                Step::Err(e) => return Err(StreamError::Parse(e)),
+                Step::Done(_) => unreachable!("feed never completes a parse"),
             }
         }
-        pos
+        match self.finish() {
+            Step::Done(v) => Ok(v),
+            Step::Err(e) => Err(StreamError::Parse(e)),
+            Step::NeedMore => unreachable!("finish never suspends"),
+        }
+    }
+
+    /// One stepper run over either the retained buffer (`chunk ==
+    /// None`) or a caller's chunk scanned in place (fast path, buffer
+    /// empty). Either way `bytes[0]` sits at the stream's global
+    /// offset.
+    fn step(&mut self, chunk: Option<&[u8]>, last: bool) -> Step<V> {
+        let parser = self.parser;
+        let ParseSession {
+            control,
+            values,
+            resume,
+            stream,
+            ..
+        } = &mut *self.session;
+        let flow = match chunk {
+            Some(c) => parser.engine::<true>(control, values, resume, c, last),
+            None => parser.engine::<true>(control, values, resume, stream.buf(), last),
+        };
+        match flow {
+            Flow::More { keep_from } => {
+                match chunk {
+                    Some(c) => stream.absorb(c, keep_from),
+                    None => stream.consume(keep_from),
+                }
+                Step::NeedMore
+            }
+            Flow::Done => {
+                debug_assert_eq!(values.len(), 1, "parse must produce exactly one value");
+                let v = values.pop().expect("parse produced no value");
+                stream.reset();
+                Step::Done(v)
+            }
+            Flow::NoMatch { pos, nt, state } => {
+                let bytes = chunk.unwrap_or_else(|| stream.buf());
+                let (line, col) = stream.line_col_in(bytes, pos);
+                let err = parser.no_match(stream.global(pos), line, col, nt, state);
+                stream.reset();
+                Step::Err(err)
+            }
+            Flow::TrailingInput { pos } => {
+                let bytes = chunk.unwrap_or_else(|| stream.buf());
+                let (line, col) = stream.line_col_in(bytes, pos);
+                let err = FusedParseError::TrailingInput {
+                    pos: stream.global(pos),
+                    line,
+                    col,
+                };
+                stream.reset();
+                Step::Err(err)
+            }
+        }
     }
 }
 
@@ -399,6 +828,18 @@ mod tests {
     }
 
     #[test]
+    fn recognize_errors_match_parse_errors() {
+        let p = sexp_parser();
+        for input in [&b"(a"[..], b")", b"", b"a b", b"(a) !", b"ab!"] {
+            assert_eq!(
+                p.recognize(input).unwrap_err(),
+                p.parse(input).unwrap_err(),
+                "on {input:?}"
+            );
+        }
+    }
+
+    #[test]
     fn error_positions_match_unstaged() {
         let p = sexp_parser();
         for input in [&b"(a"[..], b")", b"", b"a b", b"(a) !", b"ab!"] {
@@ -427,6 +868,103 @@ mod tests {
             "suspicious state count {}",
             p.state_count()
         );
+    }
+
+    #[test]
+    fn chunked_stream_agrees_with_one_shot() {
+        let p = sexp_parser();
+        let mut session = ParseSession::new();
+        for input in [
+            &b"(a (b c))"[..],
+            b"a",
+            b"  ( a\n(b) )  ",
+            b"(longatom (another) end)",
+            b"(a",
+            b")",
+            b"",
+            b"a b",
+            b"(a) !",
+            b"(a b\n(c",
+        ] {
+            let expected = p.parse(input);
+            for chunk in [1usize, 2, 3, 7, 4096] {
+                let mut s = p.stream(&mut session);
+                let mut result = None;
+                for piece in input.chunks(chunk) {
+                    match s.feed(piece) {
+                        Step::NeedMore => {}
+                        Step::Err(e) => {
+                            result = Some(Err(e));
+                            break;
+                        }
+                        Step::Done(_) => unreachable!(),
+                    }
+                }
+                let result = result.unwrap_or_else(|| match s.finish() {
+                    Step::Done(v) => Ok(v),
+                    Step::Err(e) => Err(e),
+                    Step::NeedMore => unreachable!(),
+                });
+                assert_eq!(result, expected, "chunk={chunk} on {input:?}");
+                session.reset(); // abandon any suspension left by early errors
+            }
+        }
+    }
+
+    #[test]
+    fn stream_survives_handle_drops_between_feeds() {
+        let p = sexp_parser();
+        let mut session = ParseSession::new();
+        for piece in [&b"(a"[..], b"tom (b", b" c) d)"] {
+            let mut s = p.stream(&mut session); // re-acquired each time
+            assert!(matches!(s.feed(piece), Step::NeedMore));
+        }
+        match p.stream(&mut session).finish() {
+            Step::Done(n) => assert_eq!(n, 4),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_source_drives_byte_sources() {
+        use flap_fuse::{IterSource, ReadSource, SliceChunks};
+        let p = sexp_parser();
+        let input = b"(a (b c) (d e f))";
+        let mut session = ParseSession::new();
+        assert_eq!(
+            p.parse_source_with(&mut session, &mut SliceChunks::new(input, 4))
+                .unwrap(),
+            6
+        );
+        assert_eq!(
+            p.parse_source(&mut ReadSource::with_capacity(
+                std::io::Cursor::new(&input[..]),
+                3
+            ))
+            .unwrap(),
+            6
+        );
+        let chunks: Vec<Vec<u8>> = input.chunks(5).map(<[u8]>::to_vec).collect();
+        assert_eq!(p.parse_source(&mut IterSource::new(chunks)).unwrap(), 6);
+        // whole-slice source: the degenerate one-chunk stream
+        assert_eq!(p.parse_source(&mut &input[..]).unwrap(), 6);
+    }
+
+    #[test]
+    fn streaming_errors_carry_global_positions() {
+        let p = sexp_parser();
+        let input = b"(a b\n(c !";
+        let expected = p.parse(input).unwrap_err();
+        let mut session = ParseSession::new();
+        let mut s = p.stream(&mut session);
+        let mut got = None;
+        for piece in input.chunks(2) {
+            if let Step::Err(e) = s.feed(piece) {
+                got = Some(e);
+                break;
+            }
+        }
+        assert_eq!(got.expect("must fail"), expected);
     }
 
     #[test]

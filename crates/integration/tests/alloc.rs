@@ -100,6 +100,53 @@ fn error_paths_do_not_allocate_either() {
 }
 
 #[test]
+fn steady_state_streaming_does_not_allocate_per_chunk() {
+    // Chunked feeds through one reused session: once the session's
+    // retained-tail buffer and stacks have grown to the workload's
+    // high-water mark, feeding must be allocation-free — the
+    // streaming API may not re-introduce per-chunk buffer churn.
+    let def = flap_grammars::sexp::def();
+    let parser = def.flap_parser();
+    let input = (def.generate)(11, 16 * 1024);
+    let expected = parser.parse(&input).expect("generated input parses");
+    const CHUNK: usize = 512;
+
+    let mut session = parser.session();
+    let stream_once = |session: &mut flap::ParseSession<i64>| {
+        let mut s = parser.stream(session);
+        for piece in input.chunks(CHUNK) {
+            match s.feed(piece) {
+                flap::Step::NeedMore => {}
+                other => panic!("unexpected mid-stream step: {other:?}"),
+            }
+        }
+        match s.finish() {
+            flap::Step::Done(v) => v,
+            other => panic!("unexpected final step: {other:?}"),
+        }
+    };
+
+    // Warm-up: grow the tail buffer and stacks, settle lazy runtime
+    // structures.
+    for _ in 0..2 {
+        assert_eq!(stream_once(&mut session), expected);
+    }
+
+    let (n, result) = allocs_during(|| {
+        let mut ok = true;
+        for _ in 0..20 {
+            ok &= stream_once(&mut session) == expected;
+        }
+        ok
+    });
+    assert!(result, "streamed parses must stay correct while audited");
+    assert_eq!(
+        n, 0,
+        "steady-state streaming must not allocate ({n} allocations in 20 chunked parses)"
+    );
+}
+
+#[test]
 fn fresh_session_per_parse_does_allocate() {
     // Sanity check on the audit itself: the convenience `parse`
     // allocates a session per call, so the counter must see it.

@@ -9,6 +9,10 @@
 //! is therefore inherently single-threaded — exactly the asymmetry the
 //! Arc refactor exists to remove for the staged engine.
 
+// Errors inline their expected-token set (allocation-free); the
+// larger Err variant is deliberate.
+#![allow(clippy::result_large_err)]
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
