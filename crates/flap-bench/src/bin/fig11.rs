@@ -1,58 +1,110 @@
 //! Regenerates Fig 11 of the paper: parser throughput (MB/s) for
 //! every implementation on every benchmark grammar.
 //!
-//! Usage: `cargo run -p flap-bench --release --bin fig11 [target_MB]`
-//! (default 2 MB per grammar).
+//! Usage: `cargo run -p flap-bench --release --bin fig11 --
+//! [target_MB] [--json] [--smoke [snapshot]]` (default 2 MB per
+//! grammar).
+//!
+//! * `--json` prints the results as a JSON document (the schema of
+//!   the checked-in `BENCH_fig11.json`) instead of the table.
+//! * `--smoke [snapshot]` runs a fast small-input pass and compares
+//!   the resulting document's *schema* (implementations, grammars,
+//!   ratio rows — not the machine-dependent numbers) against the
+//!   checked-in snapshot (default `BENCH_fig11.json`), exiting
+//!   non-zero on drift. CI runs this so the snapshot cannot silently
+//!   fall out of sync with the harness.
 //!
 //! The absolute numbers depend on the machine; the paper's claim is
 //! about *shape*: flap beats the token-stream implementations by
 //! integer factors, and `normalized` (same grammar, unfused) trails
 //! flap by 1.7–7.4×.
 
-use flap_bench::{all_cases, throughput_mbps};
+use std::process::ExitCode;
 
-fn main() {
-    let target_mb: f64 = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(2.0);
-    let target = (target_mb * 1e6) as usize;
-    let iters = 7;
+use flap_bench::json::{obj, Json};
+use flap_bench::{all_cases, throughput_mbps, BenchCase};
 
-    let cases = all_cases();
-    println!("Fig 11: parser throughput (MB/s), inputs ≈ {target_mb} MB, median of {iters} runs");
-    println!();
-    print!("{:<14}", "impl");
-    for c in &cases {
-        print!("{:>10}", c.name);
+/// Median flap-row throughput (MB/s) on the 2 MB workload, measured
+/// on the reference machine immediately before the flattened
+/// alphabet-compressed tables landed (interleaved A/B, three rounds).
+/// Recorded in the JSON report as `baseline.flap` so the before/after
+/// effect of the table representation stays visible next to current
+/// numbers.
+const PRE_FLATTEN_FLAP: [(&str, f64); 6] = [
+    ("json", 86.1),
+    ("sexp", 87.8),
+    ("arith", 18.9),
+    ("pgn", 98.8),
+    ("ppm", 70.9),
+    ("csv", 79.8),
+];
+
+struct Options {
+    target_mb: f64,
+    json: bool,
+    /// `Some(snapshot_path)` when running as a CI smoke check.
+    smoke: Option<String>,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        target_mb: 2.0,
+        json: false,
+        smoke: None,
+    };
+    let mut args = std::env::args().skip(1).peekable();
+    let mut explicit_target = false;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => opts.json = true,
+            "--smoke" => {
+                let path = match args.peek() {
+                    Some(p) if !p.starts_with('-') && p.parse::<f64>().is_err() => {
+                        args.next().unwrap()
+                    }
+                    _ => "BENCH_fig11.json".to_string(),
+                };
+                opts.smoke = Some(path);
+            }
+            other => {
+                if let Ok(v) = other.parse() {
+                    opts.target_mb = v;
+                    explicit_target = true;
+                }
+            }
+        }
     }
-    println!();
+    if opts.smoke.is_some() && !explicit_target {
+        // fast schema-only pass: numbers are not meaningful anyway
+        opts.target_mb = 0.2;
+    }
+    opts
+}
+
+/// Measures every implementation row plus the generated-recognizer
+/// row. Returns `(rows, codegen_row)` in display order.
+#[allow(clippy::type_complexity)]
+fn measure(
+    cases: &[BenchCase],
+    target: usize,
+    iters: usize,
+) -> (Vec<(String, Vec<f64>)>, Vec<f64>) {
     let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
     for i in 0..cases[0].impls.len() {
         let mut row = Vec::new();
-        for c in &cases {
+        for c in cases {
             let input = (c.generate)(42, target);
             let expected = (c.reference)(&input).expect("generated input is valid");
-            let mbps = throughput_mbps(&c.impls[i].run, &input, expected, iters);
-            row.push(mbps);
+            row.push(throughput_mbps(&c.impls[i].run, &input, expected, iters));
         }
         rows.push((cases[0].impls[i].name.to_string(), row));
     }
-    for (name, row) in &rows {
-        print!("{:<14}", name);
-        for v in row {
-            print!("{:>10.1}", v);
-        }
-        println!();
-    }
     // The genuinely staged path: recognizers emitted by
     // flap_staged::codegen and compiled natively by build.rs. These
-    // run no semantic actions (closures cannot be residualized), so
-    // the row is marked; it is the closest analogue of flap's
-    // MetaOCaml-generated code.
-    print!("{:<14}", "flap-codegen†");
+    // run no semantic actions (closures cannot be residualized); it
+    // is the closest analogue of flap's MetaOCaml-generated code.
     let mut codegen_row = Vec::new();
-    for c in &cases {
+    for c in cases {
         let input = (c.generate)(42, target);
         let rec = flap_bench::generated_recognizer(c.name);
         // Rust does not guarantee tail-call elimination, so
@@ -76,26 +128,156 @@ fn main() {
             .join()
             .expect("codegen bench thread");
         codegen_row.push(mbps);
-        print!("{:>10.1}", mbps);
+    }
+    (rows, codegen_row)
+}
+
+fn ratio_of<'a>(rows: &'a [(String, Vec<f64>)], name: &str) -> &'a [f64] {
+    &rows.iter().find(|(n, _)| n == name).expect("impl row").1
+}
+
+/// One `{grammar: MB/s}` object in Fig 11 grammar order.
+fn grammar_row(cases: &[BenchCase], values: &[f64]) -> Json {
+    Json::Obj(
+        cases
+            .iter()
+            .zip(values)
+            .map(|(c, v)| (c.name.to_string(), Json::Num((v * 10.0).round() / 10.0)))
+            .collect(),
+    )
+}
+
+fn report(
+    cases: &[BenchCase],
+    rows: &[(String, Vec<f64>)],
+    codegen_row: &[f64],
+    target_mb: f64,
+    iters: usize,
+) -> Json {
+    let flap_row = &rows[0].1;
+    let norm = ratio_of(rows, "normalized");
+    let asp = ratio_of(rows, "asp");
+    let ratios = |den: &[f64]| {
+        let r: Vec<f64> = flap_row.iter().zip(den).map(|(f, d)| f / d).collect();
+        grammar_row(cases, &r)
+    };
+    let mut impl_rows: Vec<(String, Json)> = rows
+        .iter()
+        .map(|(name, row)| (name.clone(), grammar_row(cases, row)))
+        .collect();
+    impl_rows.push(("flap-codegen".to_string(), grammar_row(cases, codegen_row)));
+    obj(vec![
+        ("bench", Json::Str("fig11".to_string())),
+        ("unit", Json::Str("MB/s".to_string())),
+        ("target_mb", Json::Num(target_mb)),
+        ("iters", Json::Num(iters as f64)),
+        ("rows", Json::Obj(impl_rows)),
+        (
+            "ratios",
+            obj(vec![("flap/norm", ratios(norm)), ("flap/asp", ratios(asp))]),
+        ),
+        (
+            "baseline",
+            obj(vec![
+                (
+                    "note",
+                    Json::Str(
+                        "flap row before the flattened alphabet-compressed tables (same machine)"
+                            .to_string(),
+                    ),
+                ),
+                (
+                    "flap",
+                    Json::Obj(
+                        PRE_FLATTEN_FLAP
+                            .iter()
+                            .map(|(g, v)| (g.to_string(), Json::Num(*v)))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+    ])
+}
+
+fn print_table(
+    cases: &[BenchCase],
+    rows: &[(String, Vec<f64>)],
+    codegen_row: &[f64],
+    target_mb: f64,
+    iters: usize,
+) {
+    println!("Fig 11: parser throughput (MB/s), inputs ≈ {target_mb} MB, median of {iters} runs");
+    println!();
+    print!("{:<14}", "impl");
+    for c in cases {
+        print!("{:>10}", c.name);
+    }
+    println!();
+    for (name, row) in rows {
+        print!("{:<14}", name);
+        for v in row {
+            print!("{:>10.1}", v);
+        }
+        println!();
+    }
+    print!("{:<14}", "flap-codegen†");
+    for v in codegen_row {
+        print!("{:>10.1}", v);
     }
     println!("   († recognizer: no semantic actions)");
     println!();
     // the paper's headline ratios
     let flap_row = &rows[0].1;
-    let norm_row = &rows
-        .iter()
-        .find(|(n, _)| n == "normalized")
-        .expect("normalized row")
-        .1;
-    let asp_row = &rows.iter().find(|(n, _)| n == "asp").expect("asp row").1;
     print!("{:<14}", "flap/norm");
-    for (f, n) in flap_row.iter().zip(norm_row.iter()) {
+    for (f, n) in flap_row.iter().zip(ratio_of(rows, "normalized")) {
         print!("{:>10.1}", f / n);
     }
     println!("   (paper: 1.7–7.4x)");
     print!("{:<14}", "flap/asp");
-    for (f, a) in flap_row.iter().zip(asp_row.iter()) {
+    for (f, a) in flap_row.iter().zip(ratio_of(rows, "asp")) {
         print!("{:>10.1}", f / a);
     }
     println!("   (paper: 2.0–8.0x)");
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let target = (opts.target_mb * 1e6) as usize;
+    let iters = if opts.smoke.is_some() { 2 } else { 7 };
+
+    let cases = all_cases();
+    let (rows, codegen_row) = measure(&cases, target, iters);
+    let doc = report(&cases, &rows, &codegen_row, opts.target_mb, iters);
+
+    if let Some(snapshot) = &opts.smoke {
+        let text = match std::fs::read_to_string(snapshot) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("fig11 --smoke: cannot read snapshot {snapshot}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let snap = match Json::parse(&text) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("fig11 --smoke: snapshot {snapshot} is not valid JSON: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if !snap.same_schema(&doc) {
+            eprintln!(
+                "fig11 --smoke: schema drift between {snapshot} and the harness.\n\
+                 Regenerate with: cargo run --release -p flap-bench --bin fig11 -- --json \
+                 > BENCH_fig11.json\ncurrent harness output:\n{doc}"
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("fig11 --smoke: snapshot {snapshot} schema matches the harness");
+    } else if opts.json {
+        println!("{doc}");
+    } else {
+        print_table(&cases, &rows, &codegen_row, opts.target_mb, iters);
+    }
+    ExitCode::SUCCESS
 }

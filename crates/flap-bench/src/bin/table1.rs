@@ -37,6 +37,24 @@ fn row<V: 'static>(def: flap_grammars::GrammarDef<V>) -> (String, [usize; 6]) {
     )
 }
 
+fn footprint<V: 'static>(
+    def: flap_grammars::GrammarDef<V>,
+) -> (String, flap::flap_staged::TableFootprint) {
+    let p = def.flap_parser();
+    (def.name.to_string(), p.compiled().table_footprint())
+}
+
+fn footprints() -> Vec<(String, flap::flap_staged::TableFootprint)> {
+    vec![
+        footprint(flap_grammars::pgn::def()),
+        footprint(flap_grammars::ppm::def()),
+        footprint(flap_grammars::sexp::def()),
+        footprint(flap_grammars::csv::def()),
+        footprint(flap_grammars::json::def()),
+        footprint(flap_grammars::arith::def()),
+    ]
+}
+
 fn main() {
     let ours = [
         row(flap_grammars::pgn::def()),
@@ -70,4 +88,21 @@ fn main() {
             .collect::<Vec<_>>()
             .join(", ")
     );
+    println!();
+    println!("Transition-table footprint (flattened, alphabet-compressed vs dense 256-way):");
+    println!(
+        "{:<8}{:>8}{:>10}{:>14}{:>13}{:>8}",
+        "grammar", "states", "classes", "compressed", "dense", "ratio"
+    );
+    for (name, fp) in footprints() {
+        println!(
+            "{:<8}{:>8}{:>10}{:>12} B{:>11} B{:>7.1}x",
+            name,
+            fp.states,
+            fp.classes,
+            fp.table_bytes,
+            fp.dense_bytes,
+            fp.dense_bytes as f64 / fp.table_bytes as f64
+        );
+    }
 }

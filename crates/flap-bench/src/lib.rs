@@ -18,6 +18,8 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
+
 use std::cell::RefCell;
 use std::time::{Duration, Instant};
 

@@ -19,7 +19,7 @@ use std::sync::Arc;
 use flap_cfe::TokAction;
 use flap_dgnf::{Grammar, Lead, NtId, Reduce};
 use flap_lex::{Lexer, Token};
-use flap_regex::{RegexArena, RegexId};
+use flap_regex::{FlatDfa, RegexArena, RegexId};
 
 /// A fused production `n → r n̄` (token or skip).
 pub struct FusedProd<V> {
@@ -92,6 +92,11 @@ pub struct FusedGrammar<V> {
     /// the lexer for diagnostics: expected-set reporting clones these
     /// `Arc`s into errors without allocating.
     tok_names: Vec<Arc<str>>,
+    /// Flattened skip DFA, keyed by the skip regex it was built
+    /// from: the interpreter's trailing-skip loop runs this instead
+    /// of stepping derivatives. Shared by clones (the table is
+    /// immutable).
+    skip_flat: Option<Arc<(RegexId, FlatDfa)>>,
 }
 
 impl<V> Clone for FusedGrammar<V> {
@@ -101,6 +106,7 @@ impl<V> Clone for FusedGrammar<V> {
             nts: self.nts.clone(),
             stream_id: self.stream_id,
             tok_names: self.tok_names.clone(),
+            skip_flat: self.skip_flat.clone(),
         }
     }
 }
@@ -144,6 +150,17 @@ impl<V> FusedGrammar<V> {
     /// The grammar's streaming-owner id (suspension ownership checks).
     pub fn stream_id(&self) -> u64 {
         self.stream_id
+    }
+
+    /// The flattened DFA for skip regex `skip`, if this grammar was
+    /// fused with exactly that skip rule. The id check makes the
+    /// accessor safe under callers passing an arbitrary regex: a
+    /// mismatch just falls back to the derivative path.
+    pub fn skip_dfa(&self, skip: RegexId) -> Option<&FlatDfa> {
+        match &self.skip_flat {
+            Some(p) if p.0 == skip => Some(&p.1),
+            _ => None,
+        }
     }
 
     /// All nonterminals.
@@ -263,6 +280,7 @@ pub fn fuse<V>(lexer: &mut Lexer, grammar: &Grammar<V>) -> Result<FusedGrammar<V
             .tokens()
             .map(|t| Arc::from(lexer.token_name(t)))
             .collect(),
+        skip_flat: skip.map(|r| Arc::new((r, FlatDfa::build(lexer.arena_mut(), r)))),
     })
 }
 

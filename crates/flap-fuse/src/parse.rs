@@ -220,9 +220,17 @@ enum Resume {
         scanned: usize,
     },
     /// Mid-scan of one trailing skip lexeme: `r` is the current
-    /// derivative of the skip regex.
+    /// derivative of the skip regex (fallback path, taken when the
+    /// grammar carries no flat skip DFA for the caller's regex).
     Trailing {
         r: RegexId,
+        best_len: usize,
+        scanned: usize,
+    },
+    /// Mid-scan of one trailing skip lexeme in the flattened skip
+    /// DFA: `st` is a `FlatDfa` row.
+    TrailingFlat {
+        st: u32,
         best_len: usize,
         scanned: usize,
     },
@@ -319,7 +327,10 @@ impl<V> Machine<'_, V> {
         last: bool,
     ) -> Flow {
         let mut pos = 0usize;
-        if !matches!(*resume, Resume::Trailing { .. }) {
+        if !matches!(
+            *resume,
+            Resume::Trailing { .. } | Resume::TrailingFlat { .. }
+        ) {
             let mut suspended = match *resume {
                 Resume::Token {
                     nt,
@@ -435,7 +446,10 @@ impl<V> Machine<'_, V> {
         // G exhausted (or resuming here): consume trailing skippable
         // lexemes, then require end of input.
         let Some(skip) = self.skip else {
-            let at = if matches!(*resume, Resume::Trailing { .. }) {
+            let at = if matches!(
+                *resume,
+                Resume::Trailing { .. } | Resume::TrailingFlat { .. }
+            ) {
                 0
             } else {
                 pos
@@ -457,6 +471,58 @@ impl<V> Machine<'_, V> {
             *resume = Resume::Idle;
             return Flow::Done;
         };
+        // Flat fast path: the fused grammar carries a flattened DFA
+        // for its own skip regex (sink precomputed, SWAR through the
+        // whitespace self-loop). A caller passing some other regex —
+        // or a session suspended on the derivative path — falls back
+        // to stepping derivatives below.
+        let flat = match *resume {
+            Resume::Trailing { .. } => None,
+            _ => self.fg.skip_dfa(skip),
+        };
+        if let Some(flat) = flat {
+            let (mut tok_start, mut row, mut best, mut i) = match *resume {
+                Resume::TrailingFlat {
+                    st,
+                    best_len,
+                    scanned,
+                } => (0, st, best_len, scanned),
+                _ => (pos, 0, 0, pos),
+            };
+            loop {
+                // longest-match scan of one skip lexeme from tok_start
+                let (r2, j, b, dead) = flat.run_longest(input, row, i, tok_start, best);
+                row = r2;
+                i = j;
+                best = b;
+                if !dead && !last {
+                    *resume = Resume::TrailingFlat {
+                        st: row,
+                        best_len: best,
+                        scanned: i - tok_start,
+                    };
+                    return Flow::More {
+                        keep_from: tok_start,
+                    };
+                }
+                if best == 0 {
+                    break;
+                }
+                // commit the lexeme; rescan lookahead bytes beyond it
+                tok_start += best;
+                i = tok_start;
+                row = 0;
+                best = 0;
+            }
+            if tok_start < input.len() {
+                control.clear();
+                values.clear();
+                *resume = Resume::Idle;
+                return Flow::TrailingInput { pos: tok_start };
+            }
+            *resume = Resume::Idle;
+            return Flow::Done;
+        }
         let (mut tok_start, mut r, mut best, mut i) = match *resume {
             Resume::Trailing {
                 r,

@@ -3,12 +3,15 @@
 //!
 //! This is the "separately-defined lexer" that the unfused baseline
 //! implementations of §6 use to materialize tokens. States are
-//! vectors of rule derivatives; each state carries a dense 256-way
-//! successor table and the unique accepting action, if any.
+//! vectors of rule derivatives; transitions live in one contiguous
+//! alphabet-compressed table (one row per state, one entry per byte
+//! equivalence class — see `flap_regex::FlatDfa` for the
+//! representation rationale) with the unique accepting action of the
+//! target state packed into each entry.
 
 use std::collections::HashMap;
 
-use flap_regex::{ClassCache, RegexArena, RegexId};
+use flap_regex::{AlignedU32s, ByteClasses, ClassCache, RegexArena, RegexId};
 
 use crate::algorithm::{LexError, Lexeme};
 use crate::spec::{LexAction, Lexer};
@@ -46,12 +49,18 @@ const ACC_MASK: u32 = (1 << ACC_BITS) - 1;
 /// ```
 #[derive(Debug, Clone)]
 pub struct CompiledLexer {
-    /// Flat transition table: `trans[(state << 8) | byte]` is `DEAD`
-    /// or `(next_state << 9) | accept_code`, where the accept code
+    /// Byte equivalence classes of the whole automaton: two bytes
+    /// share a class when every state sends them to the same
+    /// successor, so rows need one entry per class, not 256.
+    classes: ByteClasses,
+    /// Alphabet-compressed flat transition table, rows contiguous in
+    /// one cache-aligned block: `trans[row + class_of(byte)]` is
+    /// `DEAD` or `(next_row << 9) | accept_code`, where `next_row`
+    /// is premultiplied by the class count and the accept code
     /// describes the *target* state (0 none, 1 skip, 2+t token `t`).
-    /// One load per input byte — the same memory discipline as the
-    /// staged parser.
-    trans: Vec<u32>,
+    /// One class-map load plus one table load per input byte — the
+    /// same memory discipline as the staged parser.
+    trans: AlignedU32s,
     state_count: usize,
 }
 
@@ -127,24 +136,53 @@ impl CompiledLexer {
             }
             edges.push((src, table));
         }
-        let mut trans = vec![DEAD; accepts.len() << 8];
+        // Alphabet compression: group bytes whose whole successor
+        // column is identical, then lay the rows out contiguously
+        // with premultiplied row offsets.
+        let n = accepts.len();
+        let mut dense = vec![DEAD; n << 8];
         for (src, table) in edges {
-            for b in 0..256usize {
-                let dst = table[b];
-                if dst != DEAD {
-                    trans[((src as usize) << 8) | b] = (dst << ACC_BITS) | accepts[dst as usize];
+            dense[(src as usize) << 8..(src as usize + 1) << 8].copy_from_slice(&table[..]);
+        }
+        let classes = ByteClasses::from_columns(|b| -> Vec<u32> {
+            (0..n).map(|s| dense[(s << 8) | b as usize]).collect()
+        });
+        let ncls = classes.len();
+        let mut trans = AlignedU32s::filled(n * ncls, DEAD);
+        {
+            let t = trans.as_mut_slice();
+            for s in 0..n {
+                for b in 0..=255u8 {
+                    let dst = dense[(s << 8) | b as usize];
+                    if dst != DEAD {
+                        t[s * ncls + classes.class_of(b)] =
+                            ((dst * ncls as u32) << ACC_BITS) | accepts[dst as usize];
+                    }
                 }
             }
         }
         CompiledLexer {
+            classes,
             trans,
-            state_count: accepts.len(),
+            state_count: n,
         }
     }
 
     /// Number of DFA states.
     pub fn state_count(&self) -> usize {
         self.state_count
+    }
+
+    /// Number of byte equivalence classes (the row width of the
+    /// compressed transition table).
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Transition-table footprint in bytes: the flat compressed
+    /// block plus the 256-entry class map.
+    pub fn table_bytes(&self) -> usize {
+        self.trans.len() * 4 + 256
     }
 
     /// Scans the next token at or after `pos`, transparently skipping
@@ -161,17 +199,17 @@ impl CompiledLexer {
             if pos >= input.len() {
                 return Ok(None);
             }
-            let mut st = 0usize;
+            let mut row = 0usize;
             let mut best_code = ACC_NONE;
             let mut best_end = pos;
             let mut i = pos;
             while i < input.len() {
-                let e = self.trans[(st << 8) | input[i] as usize];
+                let e = self.trans[row + self.classes.class_of(input[i])];
                 if e == DEAD {
                     break;
                 }
                 i += 1;
-                st = (e >> ACC_BITS) as usize;
+                row = (e >> ACC_BITS) as usize;
                 let acc = e & ACC_MASK;
                 if acc != ACC_NONE {
                     best_code = acc;

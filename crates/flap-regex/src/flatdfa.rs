@@ -1,0 +1,661 @@
+//! Flattened, alphabet-compressed automaton tables with a SWAR
+//! self-loop fast path — the cache-friendly representation behind the
+//! hot loops of `flap-lex`, `flap-staged` and `flap-fuse`.
+//!
+//! ### Byte equivalence classes
+//!
+//! A dense derivative DFA stores one `[u32; 256]` row per state —
+//! 1 KiB each, a pointer chase per state, and mostly redundant: two
+//! bytes `b`, `c` are *equivalent* for an automaton when every state
+//! sends them to the same successor, i.e. when their transition-table
+//! *columns* are equal. The approximate derivative classes of
+//! [`ClassCache`](crate::ClassCache) (Owens et al. §4.2) bound this
+//! per state; here we compute the exact global partition by hashing
+//! each byte's column of successors across all states and numbering
+//! the distinct columns. The resulting class map is a single
+//! 256-entry `u8` table, and rows shrink from 256 entries to one per
+//! class — typically 10–30 for the evaluation grammars — so a whole
+//! multi-state automaton fits in a few cache lines.
+//!
+//! ### Flat, aligned storage
+//!
+//! All rows live in one contiguous [`AlignedU32s`] block, aligned to
+//! 64-byte cache lines and indexed by premultiplied row offsets
+//! (`row = state * classes`): stepping the automaton is one class-map
+//! load plus one table load, with no per-state allocation and no
+//! pointer chase.
+//!
+//! ### Sink precomputation and the SWAR skip path
+//!
+//! Transitions into the dead (sink) state are stored as the sentinel
+//! [`FlatDfa::DEAD`], so hot loops detect death with one compare —
+//! no `regex == EMPTY` arena probe. States that loop on a small byte
+//! set (whitespace skips, string bodies) additionally carry a
+//! [`FastLoop`]: a SWAR scanner that examines 8 bytes per step for
+//! the first byte *leaving* the loop set, falling back to the scalar
+//! step at chunk boundaries and near the end of input.
+
+use std::collections::HashMap;
+
+use crate::arena::{RegexArena, RegexId};
+use crate::byteset::ByteSet;
+use crate::dfa::Dfa;
+
+/// A 64-byte-aligned, heap-allocated block of `u32` table entries.
+///
+/// Rust has no stable allocator API for over-aligned slices, so the
+/// block is built from `#[repr(C, align(64))]` cache-line chunks and
+/// viewed as a flat `&[u32]`.
+#[derive(Clone, Debug)]
+pub struct AlignedU32s {
+    lines: Box<[CacheLine]>,
+    len: usize,
+}
+
+/// One cache line of table entries (16 × `u32` = 64 bytes).
+#[repr(C, align(64))]
+#[derive(Clone, Copy, Debug)]
+struct CacheLine([u32; 16]);
+
+impl AlignedU32s {
+    /// Allocates `len` entries, all set to `fill`.
+    pub fn filled(len: usize, fill: u32) -> AlignedU32s {
+        let nlines = len.div_ceil(16);
+        AlignedU32s {
+            lines: vec![CacheLine([fill; 16]); nlines].into_boxed_slice(),
+            len,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the block holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The entries as a flat slice (cache-line aligned at index 0).
+    #[inline]
+    pub fn as_slice(&self) -> &[u32] {
+        // Sound: `CacheLine` is a `repr(C)` array of `u32`, so the
+        // boxed lines are `len.div_ceil(16) * 16 >= len` contiguous,
+        // initialized `u32`s, and alignment only decreases.
+        unsafe { std::slice::from_raw_parts(self.lines.as_ptr().cast::<u32>(), self.len) }
+    }
+
+    /// The entries as a mutable flat slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [u32] {
+        // Sound: as for `as_slice`, plus `&mut self` guarantees
+        // uniqueness.
+        unsafe { std::slice::from_raw_parts_mut(self.lines.as_mut_ptr().cast::<u32>(), self.len) }
+    }
+}
+
+impl std::ops::Deref for AlignedU32s {
+    type Target = [u32];
+    #[inline]
+    fn deref(&self) -> &[u32] {
+        self.as_slice()
+    }
+}
+
+impl std::ops::DerefMut for AlignedU32s {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [u32] {
+        self.as_mut_slice()
+    }
+}
+
+/// The byte equivalence classes of one automaton: a 256-entry map
+/// from byte to class id, with classes numbered `0..len()`.
+#[derive(Clone, Debug)]
+pub struct ByteClasses {
+    map: [u8; 256],
+    count: u16,
+}
+
+impl ByteClasses {
+    /// Computes the class partition from a column key per byte: two
+    /// bytes share a class exactly when `column` returns equal keys.
+    ///
+    /// At most 256 distinct columns exist, so class ids always fit
+    /// in the `u8` map.
+    pub fn from_columns<K: Eq + std::hash::Hash>(mut column: impl FnMut(u8) -> K) -> ByteClasses {
+        let mut ids: HashMap<K, u8> = HashMap::new();
+        let mut map = [0u8; 256];
+        for b in 0..=255u8 {
+            let next = ids.len() as u8;
+            map[b as usize] = *ids.entry(column(b)).or_insert(next);
+        }
+        ByteClasses {
+            map,
+            count: ids.len() as u16,
+        }
+    }
+
+    /// The class of byte `b`.
+    #[inline]
+    pub fn class_of(&self, b: u8) -> usize {
+        self.map[b as usize] as usize
+    }
+
+    /// Number of classes.
+    pub fn len(&self) -> usize {
+        self.count as usize
+    }
+
+    /// A partition always has at least one class.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The raw 256-entry class map.
+    pub fn map(&self) -> &[u8; 256] {
+        &self.map
+    }
+}
+
+const SWAR_LO: u64 = 0x0101_0101_0101_0101;
+const SWAR_HI: u64 = 0x8080_8080_8080_8080;
+
+/// Per-byte equality mask: bit `8k+7` is set exactly when byte `k`
+/// of `v` equals `n`. Exact for all byte values (the lane-local
+/// carry of `(x & 0x7f…) + 0x7f…` cannot cross byte boundaries).
+#[inline]
+fn eq_mask(v: u64, n: u8) -> u64 {
+    let x = v ^ (SWAR_LO * u64::from(n));
+    !(((x & !SWAR_HI) + !SWAR_HI) | x | !SWAR_HI)
+}
+
+/// A SWAR scanner for a self-loop state: the predicate "this byte
+/// stays in the loop", expressible when the loop byte set or its
+/// complement has at most four members (whitespace skips, string
+/// bodies, comment bodies).
+#[derive(Clone, Copy, Debug)]
+pub struct FastLoop {
+    /// Member bytes (`negate == false`) or excluded bytes
+    /// (`negate == true`); unused slots repeat `needles[0]`.
+    needles: [u8; 4],
+    n: u8,
+    negate: bool,
+}
+
+impl FastLoop {
+    /// Builds a scanner for loop set `stay`, or `None` when neither
+    /// `stay` nor its complement fits in four needles.
+    pub fn of_set(stay: &ByteSet) -> Option<FastLoop> {
+        let build = |set: &ByteSet, negate: bool| {
+            let bytes: Vec<u8> = set.iter().collect();
+            let mut needles = [*bytes.first()?; 4];
+            for (slot, &b) in needles.iter_mut().zip(&bytes) {
+                *slot = b;
+            }
+            Some(FastLoop {
+                needles,
+                n: bytes.len() as u8,
+                negate,
+            })
+        };
+        if stay.is_empty() {
+            None
+        } else if stay.len() <= 4 {
+            build(stay, false)
+        } else if stay.complement().len() <= 4 {
+            build(&stay.complement(), true)
+        } else {
+            None
+        }
+    }
+
+    /// Whether `b` stays in the loop (the scalar predicate).
+    #[inline]
+    pub fn stays(&self, b: u8) -> bool {
+        self.needles[..self.n as usize].contains(&b) != self.negate
+    }
+
+    /// Whether the scanner matches the *complement* of its needles
+    /// (a "stay until one of these bytes" loop, e.g. a string body).
+    pub fn is_negate(&self) -> bool {
+        self.negate
+    }
+
+    /// Number of needle bytes (1–4).
+    pub fn needle_count(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Length of the longest prefix of `bytes` that stays in the
+    /// loop, scanning 8 bytes per step (scalar at the tail).
+    #[inline]
+    pub fn run(&self, bytes: &[u8]) -> usize {
+        let mut i = 0;
+        while i + 8 <= bytes.len() {
+            let v = u64::from_le_bytes(bytes[i..i + 8].try_into().expect("8-byte chunk"));
+            let mut eq = eq_mask(v, self.needles[0]);
+            if self.n > 1 {
+                eq |= eq_mask(v, self.needles[1]);
+            }
+            if self.n > 2 {
+                eq |= eq_mask(v, self.needles[2]);
+            }
+            if self.n > 3 {
+                eq |= eq_mask(v, self.needles[3]);
+            }
+            // bytes that leave the loop: needle hits when the set is
+            // excluded, needle misses when the set is the members
+            let leave = if self.negate { eq } else { SWAR_HI & !eq };
+            if leave != 0 {
+                return i + (leave.trailing_zeros() as usize >> 3);
+            }
+            i += 8;
+        }
+        while i < bytes.len() && self.stays(bytes[i]) {
+            i += 1;
+        }
+        i
+    }
+}
+
+/// A flattened, alphabet-compressed DFA for a single regex: the
+/// [`Dfa`] semantics in the representation described in the
+/// module docs at the top of this file.
+///
+/// Transition entries pack the successor as
+/// `(target_row << 2) | (accel << 1) | accepting`, where
+/// `target_row` is premultiplied by the class count, `accepting`
+/// describes the *target* state, and `accel` marks self-loop edges
+/// whose state has a [`FastLoop`]; edges into the sink are the
+/// sentinel [`FlatDfa::DEAD`]. State 0 is the start state, at row 0.
+///
+/// # Examples
+///
+/// ```
+/// use flap_regex::{FlatDfa, RegexArena};
+///
+/// let mut ar = RegexArena::new();
+/// let ab = ar.literal(b"ab");
+/// let r = ar.star(ab); // (ab)*
+/// let dfa = FlatDfa::build(&mut ar, r);
+/// assert!(dfa.matches(b"abab"));
+/// assert!(!dfa.matches(b"aba"));
+/// assert_eq!(dfa.longest_match(b"ababa"), Some(4));
+/// ```
+#[derive(Clone, Debug)]
+pub struct FlatDfa {
+    classes: ByteClasses,
+    /// Entries per row (`== classes.len()`).
+    stride: u32,
+    /// `trans[state * stride + class]`, rows contiguous and aligned.
+    trans: AlignedU32s,
+    /// Accepting flag per state id (cold queries; hot loops read the
+    /// flag from the transition entry).
+    accepting: Vec<bool>,
+    /// `(row, scanner)` for accelerated self-loop states, sorted by
+    /// row for binary search on the (rare) accel-entry path.
+    accel: Vec<(u32, FastLoop)>,
+}
+
+impl FlatDfa {
+    /// Sentinel entry for transitions into the dead state.
+    pub const DEAD: u32 = u32::MAX;
+
+    /// Builds the flattened derivative DFA of `start`.
+    pub fn build(ar: &mut RegexArena, start: RegexId) -> FlatDfa {
+        FlatDfa::from_dense(&Dfa::build(ar, start))
+    }
+
+    /// Flattens a dense [`Dfa`], computing byte classes, the sink
+    /// id, and the self-loop scanners.
+    pub fn from_dense(dfa: &Dfa) -> FlatDfa {
+        let states = dfa.states();
+        let n = states.len();
+        // The sink: the canonical ⊥ state when reachable, or any
+        // non-accepting total self-loop (same language either way).
+        let is_sink = |id: usize| {
+            states[id].regex == RegexArena::EMPTY
+                || (!states[id].accepting && states[id].next.iter().all(|&t| t as usize == id))
+        };
+        let sink: Vec<bool> = (0..n).map(is_sink).collect();
+        let classes = ByteClasses::from_columns(|b| -> Vec<u32> {
+            states
+                .iter()
+                .enumerate()
+                .map(|(id, st)| {
+                    let t = st.next[b as usize] as usize;
+                    if sink[id] || sink[t] {
+                        Self::DEAD
+                    } else {
+                        st.next[b as usize]
+                    }
+                })
+                .collect()
+        });
+        let stride = classes.len() as u32;
+        // Self-loop scanners, per state.
+        let mut accel: Vec<(u32, FastLoop)> = Vec::new();
+        for (id, st) in states.iter().enumerate() {
+            if sink[id] {
+                continue;
+            }
+            let mut stay = ByteSet::new();
+            for b in 0..=255u8 {
+                if st.next[b as usize] as usize == id {
+                    stay.insert(b);
+                }
+            }
+            if let Some(f) = FastLoop::of_set(&stay) {
+                accel.push((id as u32 * stride, f));
+            }
+        }
+        let mut trans = AlignedU32s::filled(n * stride as usize, Self::DEAD);
+        {
+            let t = trans.as_mut_slice();
+            for (id, st) in states.iter().enumerate() {
+                if sink[id] {
+                    continue;
+                }
+                let has_fast = accel
+                    .binary_search_by_key(&(id as u32 * stride), |&(r, _)| r)
+                    .is_ok();
+                for b in 0..=255u8 {
+                    let dst = st.next[b as usize] as usize;
+                    if sink[dst] {
+                        continue;
+                    }
+                    let is_self = dst == id;
+                    let entry = ((dst as u32 * stride) << 2)
+                        | (u32::from(is_self && has_fast) << 1)
+                        | u32::from(states[dst].accepting);
+                    t[id * stride as usize + classes.class_of(b)] = entry;
+                }
+            }
+        }
+        FlatDfa {
+            classes,
+            stride,
+            trans,
+            accepting: states.iter().map(|s| s.accepting).collect(),
+            accel,
+        }
+    }
+
+    /// Number of states (state ids `0..state_count()`; row of state
+    /// `s` is `s * classes()`).
+    pub fn state_count(&self) -> usize {
+        self.accepting.len()
+    }
+
+    /// Number of byte equivalence classes (the row stride).
+    pub fn classes(&self) -> usize {
+        self.stride as usize
+    }
+
+    /// The byte → class map.
+    pub fn byte_classes(&self) -> &ByteClasses {
+        &self.classes
+    }
+
+    /// Whether state `id` is accepting.
+    pub fn accepting(&self, id: u32) -> bool {
+        self.accepting[id as usize]
+    }
+
+    /// Whether the start state is accepting (the regex is nullable).
+    pub fn start_accepting(&self) -> bool {
+        self.accepting[0]
+    }
+
+    /// Successor of state `id` on byte `b`, or `None` for the dead
+    /// state (cold path; hot loops use [`FlatDfa::entry`] on rows).
+    pub fn next_state(&self, id: u32, b: u8) -> Option<u32> {
+        let e = self.entry(id * self.stride, b);
+        (e != Self::DEAD).then(|| (e >> 2) / self.stride)
+    }
+
+    /// Table footprint in bytes: the flat transition block plus the
+    /// class map.
+    pub fn table_bytes(&self) -> usize {
+        self.trans.len() * 4 + 256
+    }
+
+    /// Raw transition entry from row `row` on byte `b` (see the type
+    /// docs for the packing; [`FlatDfa::DEAD`] for the sink).
+    #[inline]
+    pub fn entry(&self, row: u32, b: u8) -> u32 {
+        self.trans[row as usize + self.classes.class_of(b)]
+    }
+
+    /// The scanner of the accelerated self-loop state at `row`
+    /// (present exactly when some entry with this target row has the
+    /// accel bit set).
+    #[inline]
+    pub fn accel_for(&self, row: u32) -> Option<&FastLoop> {
+        self.accel
+            .binary_search_by_key(&row, |&(r, _)| r)
+            .ok()
+            .map(|i| &self.accel[i].1)
+    }
+
+    /// Runs the scanner of accelerated row `row` from position `i`,
+    /// returning the new position. Outlined (`#[inline(never)]`) so
+    /// the SWAR scanner's registers stay out of the callers' per-byte
+    /// loops, which would otherwise pay for them on every (untaken)
+    /// accel check.
+    #[cold]
+    #[inline(never)]
+    fn accel_scan(&self, row: u32, input: &[u8], i: usize) -> usize {
+        match self.accel_for(row) {
+            Some(f) => i + f.run(&input[i..]),
+            None => i,
+        }
+    }
+
+    /// One longest-match scan from state-row `row` over
+    /// `input[i..]`, with `best` lengths measured from `tok_start`.
+    ///
+    /// Returns `(row, i, best, dead)`: the updated automaton
+    /// position, and whether the scan stopped on a dead byte
+    /// (`dead == true`) or by exhausting the input. This is the
+    /// shared skip-scan kernel of the staged VM and the fused
+    /// interpreter's trailing loops — one compare against
+    /// [`FlatDfa::DEAD`] per byte, no arena probe, SWAR through
+    /// self-loop runs.
+    #[inline]
+    pub fn run_longest(
+        &self,
+        input: &[u8],
+        mut row: u32,
+        mut i: usize,
+        tok_start: usize,
+        mut best: usize,
+    ) -> (u32, usize, usize, bool) {
+        while i < input.len() {
+            let e = self.entry(row, input[i]);
+            if e == Self::DEAD {
+                return (row, i, best, true);
+            }
+            i += 1;
+            let acc = e & 1 == 1;
+            if acc {
+                best = i - tok_start;
+            }
+            if e & 2 != 0 {
+                i = self.accel_scan(e >> 2, input, i);
+                if acc {
+                    best = i - tok_start;
+                }
+            }
+            row = e >> 2;
+        }
+        (row, i, best, false)
+    }
+
+    /// Runs the automaton on `input`, returning whether it ends in
+    /// an accepting state (exact whole-string match). Agrees with
+    /// [`Dfa::matches`] on every input.
+    pub fn matches(&self, input: &[u8]) -> bool {
+        let mut row = 0u32;
+        let mut acc = self.accepting[0];
+        for &b in input {
+            let e = self.entry(row, b);
+            if e == Self::DEAD {
+                return false;
+            }
+            acc = e & 1 == 1;
+            row = e >> 2;
+        }
+        acc
+    }
+
+    /// Length of the longest prefix of `input` matched by the regex,
+    /// or `None` if no prefix (not even the empty one) matches.
+    /// Agrees with [`Dfa::longest_match`] on every input, and
+    /// exercises the SWAR fast path.
+    pub fn longest_match(&self, input: &[u8]) -> Option<usize> {
+        let mut best = if self.accepting[0] { Some(0) } else { None };
+        let (_, _, b, _) = self.run_longest(input, 0, 0, 0, best.unwrap_or(0));
+        if b > 0 {
+            best = Some(b);
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq_mask_is_exact_per_byte() {
+        for n in [0u8, 1, 0x7f, 0x80, 0xab, 0xff] {
+            let v = u64::from_le_bytes([0, 1, n, 0x7f, 0x80, n, 0xff, 9]);
+            let m = eq_mask(v, n);
+            for (k, byte) in v.to_le_bytes().iter().enumerate() {
+                let hit = m >> (8 * k) & 0x80 != 0;
+                assert_eq!(hit, *byte == n, "needle {n:#x} byte {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_loop_in_set() {
+        let ws = ByteSet::from_bytes(b" \t\n\r");
+        let f = FastLoop::of_set(&ws).unwrap();
+        assert_eq!(f.run(b"   \t\n\r  x rest"), 8);
+        assert_eq!(f.run(b"x"), 0);
+        assert_eq!(f.run(b""), 0);
+        assert_eq!(f.run(b"   "), 3); // shorter than a chunk
+        let long = vec![b' '; 1000];
+        assert_eq!(f.run(&long), 1000);
+    }
+
+    #[test]
+    fn fast_loop_not_in_set() {
+        // a JSON string body: anything but `"` and `\`
+        let mut stop = ByteSet::from_bytes(b"\"\\");
+        stop = stop.complement();
+        let f = FastLoop::of_set(&stop).unwrap();
+        assert_eq!(f.run(b"hello world\" tail"), 11);
+        assert_eq!(f.run(b"nul\0and\xffhigh\\x"), 12);
+        assert_eq!(f.run(b"\"x"), 0);
+    }
+
+    #[test]
+    fn fast_loop_rejects_wide_sets() {
+        // 26 members and 230 excluded: no four-needle predicate
+        assert!(FastLoop::of_set(&ByteSet::range(b'a', b'z')).is_none());
+        assert!(FastLoop::of_set(&ByteSet::new()).is_none());
+        let mid = ByteSet::range(0, 127);
+        assert!(FastLoop::of_set(&mid).is_none()); // 128 in, 128 out
+    }
+
+    #[test]
+    fn flat_agrees_with_dense_on_examples() {
+        let mut ar = RegexArena::new();
+        let d = ar.class(ByteSet::range(b'0', b'9'));
+        let int = ar.plus(d);
+        let dot = ar.byte(b'.');
+        let tail = ar.seq(dot, int);
+        let ot = ar.opt(tail);
+        let num = ar.seq(int, ot);
+        let dense = Dfa::build(&mut ar, num);
+        let flat = FlatDfa::from_dense(&dense);
+        for w in [
+            &b"1"[..],
+            b"12.5",
+            b"",
+            b".",
+            b"3.",
+            b"3.14159",
+            b"00.00",
+            b"1a",
+            b"a",
+            b"123456789012345678901234567890",
+        ] {
+            assert_eq!(flat.matches(w), dense.matches(w), "matches {w:?}");
+            assert_eq!(
+                flat.longest_match(w),
+                dense.longest_match(w),
+                "longest {w:?}"
+            );
+        }
+        assert!(flat.classes() <= 4, "digits, dot, rest: {}", flat.classes());
+        assert!(flat.table_bytes() < dense.len() * 1024);
+    }
+
+    #[test]
+    fn whitespace_skip_uses_swar() {
+        let mut ar = RegexArena::new();
+        let ws = ar.class(ByteSet::from_bytes(b" \t\n\r"));
+        let skip = ar.plus(ws);
+        let flat = FlatDfa::build(&mut ar, skip);
+        // the looping state must carry a scanner
+        assert!(!flat.accel.is_empty(), "expected an accelerated state");
+        let mut input = vec![b' '; 100];
+        input.push(b'x');
+        assert_eq!(flat.longest_match(&input), Some(100));
+        assert_eq!(flat.longest_match(b"x"), None);
+        assert_eq!(flat.longest_match(b" "), Some(1));
+    }
+
+    #[test]
+    fn aligned_storage_is_aligned_and_flat() {
+        let mut a = AlignedU32s::filled(37, 7);
+        assert_eq!(a.len(), 37);
+        assert!(a.iter().all(|&x| x == 7));
+        assert_eq!(a.as_slice().as_ptr() as usize % 64, 0);
+        a.as_mut_slice()[36] = 1;
+        assert_eq!(a[36], 1);
+    }
+
+    #[test]
+    fn byte_classes_partition_by_column() {
+        let c = ByteClasses::from_columns(|b| b.is_ascii_digit());
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.class_of(b'3'), c.class_of(b'7'));
+        assert_ne!(c.class_of(b'3'), c.class_of(b'x'));
+        let all = ByteClasses::from_columns(|b| b);
+        assert_eq!(all.len(), 256);
+        assert_eq!(all.class_of(255), 255);
+    }
+
+    #[test]
+    fn run_longest_resumes_across_chunks() {
+        let mut ar = RegexArena::new();
+        let ws = ar.class(ByteSet::from_bytes(b" \n"));
+        let skip = ar.plus(ws);
+        let flat = FlatDfa::build(&mut ar, skip);
+        let input = b"          x";
+        // feed in two pieces: state carries over
+        let (row, i, best, dead) = flat.run_longest(&input[..4], 0, 0, 0, 0);
+        assert!(!dead);
+        assert_eq!((i, best), (4, 4));
+        let (_, i, best, dead) = flat.run_longest(input, row, i, 0, best);
+        assert!(dead);
+        assert_eq!((i, best), (10, 10));
+    }
+}

@@ -14,6 +14,11 @@
 //! * [`Dfa`] — derivative-based DFA construction, plus language
 //!   [`equivalence`](equivalent) and [`emptiness`](is_empty_lang)
 //!   decision procedures used by lexer canonicalization (§4);
+//! * [`FlatDfa`] — the flattened, alphabet-compressed table
+//!   representation the hot loops execute: exact byte equivalence
+//!   classes, one contiguous cache-aligned transition block, a
+//!   precomputed sink sentinel, and a SWAR fast path
+//!   ([`FastLoop`]) through self-loop states;
 //! * a concrete [string syntax](RegexArena::parse) for convenience.
 //!
 //! # Quickstart
@@ -35,6 +40,7 @@ mod byteset;
 mod classes;
 mod dfa;
 mod display;
+mod flatdfa;
 pub mod parse;
 
 pub use arena::{Node, RegexArena, RegexId};
@@ -42,4 +48,5 @@ pub use byteset::ByteSet;
 pub use classes::{ClassCache, Partition};
 pub use dfa::{equivalent, is_empty_lang, Dfa, DfaState};
 pub use display::DisplayRegex;
+pub use flatdfa::{AlignedU32s, ByteClasses, FastLoop, FlatDfa};
 pub use parse::RegexParseError;

@@ -11,11 +11,15 @@
 //! crate materializes the same residual program as data: one
 //! [`State`] per indexed function `S_{F_n,k}` (memoized on the pair
 //! of derivative vector and continuation, exactly as §5.4 memoizes
-//! generated functions), each holding a dense 256-way branch table.
-//! The [`vm`](crate::vm) module then executes that program with a
-//! loop that does per character exactly what flap's generated OCaml
-//! does: one table lookup and a jump — no derivative computation, no
-//! token materialization, no allocation.
+//! generated functions). The states are then flattened into a single
+//! cache-aligned, alphabet-compressed transition block (exact byte
+//! equivalence classes over the whole automaton, premultiplied row
+//! targets, the stop action stored in slot 0 of each row). The
+//! [`vm`](crate::vm) module executes that program with a loop that
+//! does per character exactly what flap's generated OCaml does: one
+//! class-map load, one table lookup and a jump — no derivative
+//! computation, no token materialization, no allocation. Trailing
+//! skip input goes through the skip DFA's SWAR self-loop fast path.
 //!
 //! The [`codegen`](crate::codegen) module additionally prints the
 //! states as genuine Rust source (the §5.5 excerpt), which is what a
@@ -28,12 +32,38 @@ use flap_cfe::TokAction;
 use flap_dgnf::Reduce;
 use flap_fuse::{Expected, FusedGrammar};
 use flap_lex::{Lexer, Token};
-use flap_regex::{ByteSet, ClassCache, RegexArena, RegexId};
+use flap_regex::{AlignedU32s, ByteClasses, ByteSet, ClassCache, FlatDfa, RegexArena, RegexId};
 
 /// Transition-table entry: `STOP`, or a target state with a *mark*
 /// bit recording that entering the target establishes a new longest
 /// match (the `rs := cs` update of Fig 10).
+///
+/// In [`State::classes`] (kept for code generation) entries are
+/// `(target_state << 1) | mark`; in the VM's flat table they are
+/// `(target_row << 2) | mark` with the row premultiplied by the
+/// stride (bit 1 is unused; the layout mirrors
+/// [`FlatDfa`](flap_regex::FlatDfa), whose bit 1 is the accel flag).
 pub(crate) const STOP: u32 = u32::MAX;
+
+/// Encodes a [`StopAction`] into row slot 0 of the flat table
+/// (2-bit tag, payload above).
+pub(crate) fn encode_stop(s: StopAction) -> u32 {
+    match s {
+        StopAction::Fail => 0,
+        StopAction::Eps(n) => (n << 2) | 1,
+        StopAction::Match(p) => (p << 2) | 2,
+    }
+}
+
+/// Inverse of [`encode_stop`].
+#[inline]
+pub(crate) fn decode_stop(e: u32) -> StopAction {
+    match e & 3 {
+        0 => StopAction::Fail,
+        1 => StopAction::Eps(e >> 2),
+        _ => StopAction::Match(e >> 2),
+    }
+}
 
 /// What `Step(k, rs)` does in the state's stop situation (dead input
 /// byte or end of input) — determined statically by the state's
@@ -53,12 +83,11 @@ pub enum StopAction {
 /// One compiled state `S_{F_n,k}`.
 #[derive(Clone)]
 pub struct State {
-    /// `next[b]`: `STOP`, or `(target << 1) | mark`.
-    pub(crate) next: Box<[u32; 256]>,
     /// Behaviour when no transition applies.
     pub(crate) stop: StopAction,
-    /// The character classes of this state (kept for code generation
-    /// and Table 1 metrics; the VM uses only `next`).
+    /// The character classes of this state with `(target << 1) |
+    /// mark` entries (kept for code generation and Table 1 metrics;
+    /// the VM runs the flat alphabet-compressed table instead).
     pub(crate) classes: Vec<(ByteSet, u32)>,
 }
 
@@ -82,21 +111,31 @@ pub(crate) enum CompiledProd<V> {
 /// Rust source via [`crate::codegen::emit_rust`].
 pub struct CompiledParser<V> {
     pub(crate) states: Vec<State>,
-    /// Flat transition table used by the VM:
-    /// `trans[(state << 8) | byte]` (one load per input byte).
-    pub(crate) trans: Vec<u32>,
-    /// Stop action per state, consulted only when no transition
-    /// applies.
-    pub(crate) stops: Vec<StopAction>,
-    /// Start state per nonterminal (dense `NtId` index).
+    /// Byte → 1-based class id; class 0 of every row is the encoded
+    /// stop action, so the VM's per-byte index is `row + map[b]`
+    /// with no offset arithmetic. `u16` because a pathological
+    /// automaton can have up to 256 classes (257 row slots).
+    pub(crate) class_map: Box<[u16; 256]>,
+    /// Row stride of the flat table: class count + 1 (stop slot).
+    pub(crate) stride: u32,
+    /// Alphabet-compressed flat transition table in one
+    /// cache-aligned block. Row of state `s` starts at `s * stride`;
+    /// slot 0 holds [`encode_stop`]`(stop)`, the remaining slots
+    /// hold `STOP` or `(target_row << 2) | mark`.
+    pub(crate) trans: AlignedU32s,
+    /// Start state per nonterminal (dense `NtId` index; state ids,
+    /// used by code generation and diagnostics).
     pub(crate) nt_start: Vec<u32>,
+    /// Start *row* per nonterminal (premultiplied, used by the VM).
+    pub(crate) nt_start_row: Vec<u32>,
     /// Flat production table; `StopAction::Match` indexes into it.
     pub(crate) prods: Vec<CompiledProd<V>>,
     /// ε reduces per nonterminal (`StopAction::Eps` indexes by NT).
     pub(crate) eps: Vec<Option<Reduce<V>>>,
-    /// Dense DFA for the skip regex, used to consume trailing
-    /// skippable input; `None` when the lexer had no skip rule.
-    pub(crate) skip: Option<flap_regex::Dfa>,
+    /// Flattened DFA for the skip regex (sink precomputed as the
+    /// `DEAD` sentinel), used to consume trailing skippable input;
+    /// `None` when the lexer had no skip rule.
+    pub(crate) skip: Option<FlatDfa>,
     pub(crate) start_nt: u32,
     /// Streaming-owner id (`flap_fuse::stream::next_owner_id`):
     /// suspended sessions record it so they cannot be resumed
@@ -119,7 +158,7 @@ impl<V> CompiledParser<V> {
     pub fn compile(lexer: &mut Lexer, fused: &FusedGrammar<V>) -> CompiledParser<V> {
         let skip = lexer
             .skip_regex()
-            .map(|r| flap_regex::Dfa::build(lexer.arena_mut(), r));
+            .map(|r| FlatDfa::build(lexer.arena_mut(), r));
         let mut c = Compiler {
             arena: lexer.arena_mut(),
             cache: ClassCache::new(),
@@ -183,20 +222,53 @@ impl<V> CompiledParser<V> {
             }
         }
 
-        // Flatten for the VM: one contiguous table, one load per byte.
-        let mut trans = vec![STOP; c.states.len() << 8];
-        let mut stops = Vec::with_capacity(c.states.len());
+        // Flatten for the VM: exact byte equivalence classes over
+        // the whole automaton, then one contiguous aligned table of
+        // compressed rows with premultiplied targets — one class-map
+        // load plus one table load per input byte.
+        let nstates = c.states.len();
+        let mut cols: Vec<Vec<u32>> = vec![vec![STOP; nstates]; 256];
         for (sid, st) in c.states.iter().enumerate() {
-            stops.push(st.stop);
-            for b in 0..256usize {
-                trans[(sid << 8) | b] = st.next[b];
+            for (set, entry) in &st.classes {
+                for b in set.iter() {
+                    cols[b as usize][sid] = *entry;
+                }
             }
         }
+        let classes = ByteClasses::from_columns(|b| cols[b as usize].clone());
+        let ncls = classes.len();
+        let stride = (ncls + 1) as u32;
+        let mut class_map = Box::new([0u16; 256]);
+        let mut reps: Vec<u8> = vec![0; ncls];
+        for b in (0..=255u8).rev() {
+            let cls = classes.class_of(b);
+            class_map[b as usize] = (cls + 1) as u16;
+            reps[cls] = b;
+        }
+        let mut trans = AlignedU32s::filled(nstates * stride as usize, STOP);
+        {
+            let t = trans.as_mut_slice();
+            for (sid, st) in c.states.iter().enumerate() {
+                let row = sid * stride as usize;
+                t[row] = encode_stop(st.stop);
+                for (cls, &rep) in reps.iter().enumerate() {
+                    let e = cols[rep as usize][sid];
+                    if e == STOP {
+                        continue;
+                    }
+                    let target = (e >> 1) as usize;
+                    t[row + 1 + cls] = ((target as u32 * stride) << 2) | (e & 1);
+                }
+            }
+        }
+        let nt_start_row = nt_start.iter().map(|&s| s * stride).collect();
         CompiledParser {
             states: c.states,
+            class_map,
+            stride,
             trans,
-            stops,
             nt_start,
+            nt_start_row,
             prods,
             eps,
             skip,
@@ -231,7 +303,6 @@ impl Compiler<'_> {
         }
         let id = self.states.len() as u32;
         self.states.push(State {
-            next: Box::new([STOP; 256]),
             stop: k,
             classes: Vec::new(),
         });
@@ -244,7 +315,6 @@ impl Compiler<'_> {
         while let Some((live, id)) = self.worklist.pop() {
             let regexes: Vec<RegexId> = live.iter().map(|&(r, _)| r).collect();
             let part = self.cache.classes_of_vector(self.arena, &regexes);
-            let mut next = Box::new([STOP; 256]);
             let mut classes = Vec::with_capacity(part.len());
             for set in part.sets() {
                 let rep = set.min_byte().expect("partition classes are non-empty");
@@ -275,11 +345,7 @@ impl Compiler<'_> {
                     (target << 1) | mark
                 };
                 classes.push((*set, entry));
-                for b in set.iter() {
-                    next[b as usize] = entry;
-                }
             }
-            self.states[id as usize].next = next;
             self.states[id as usize].classes = classes;
         }
     }

@@ -7,11 +7,15 @@
 //!
 //! * [`CompiledParser::compile`] builds one state per indexed
 //!   function `S_{F_n,k}` of Fig 10 (memoized on the derivative
-//!   vector and continuation), with a dense byte-indexed transition
-//!   table and a statically-known stop action per state;
+//!   vector and continuation), then flattens all states into one
+//!   cache-aligned, alphabet-compressed transition block with a
+//!   statically-known stop action per state;
 //! * [`CompiledParser::parse_with`] / [`CompiledParser::recognize`]
-//!   execute the tables with a per-character cost of one load and
-//!   one jump — the Rust analogue of flap's generated OCaml;
+//!   execute the tables with a per-character cost of one class-map
+//!   load, one table load and one jump — the Rust analogue of flap's
+//!   generated OCaml — while skippable input outside tokens runs
+//!   through the skip DFA's SWAR self-loop fast path
+//!   ([`TableFootprint`] reports the compression payoff);
 //! * [`ParseSession`] holds all per-parse mutable state (control and
 //!   value stacks), so a compiled parser is immutable and
 //!   `Send + Sync`: share one parser across threads, give each thread
@@ -98,7 +102,7 @@ mod metrics;
 mod vm;
 
 pub use compile::{CompiledParser, State, StopAction};
-pub use metrics::{measure_pipeline, CompileTimes, SizeReport};
+pub use metrics::{measure_pipeline, CompileTimes, SizeReport, TableFootprint};
 pub use vm::{ParseSession, StreamParse};
 
 // The streaming vocabulary shared with `flap-fuse`, re-exported so

@@ -50,6 +50,48 @@ impl CompileTimes {
     }
 }
 
+/// Memory footprint of a compiled parser's transition tables — the
+/// payoff of alphabet compression, reported per grammar by the
+/// benchmark harness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TableFootprint {
+    /// Compiled automaton states (parser + skip DFA).
+    pub states: usize,
+    /// Byte equivalence classes of the parser automaton.
+    pub classes: usize,
+    /// Bytes of the compressed flat tables actually executed:
+    /// parser rows + class map, plus the skip DFA's flat block.
+    pub table_bytes: usize,
+    /// Bytes the same automata would occupy as dense per-state
+    /// 256-way `u32` tables (the pre-flattening representation).
+    pub dense_bytes: usize,
+}
+
+impl<V> CompiledParser<V> {
+    /// Measures the transition-table footprint of this parser:
+    /// compressed (what the VM executes) vs dense (what the same
+    /// states would cost at 1 KiB per state).
+    pub fn table_footprint(&self) -> TableFootprint {
+        let parser_states = self.state_count();
+        let skip_states = self
+            .skip
+            .as_ref()
+            .map_or(0, flap_regex::FlatDfa::state_count);
+        // parser flat block + u16 class map, then the skip DFA's
+        // block + u8 class map
+        let mut table_bytes = self.trans.len() * 4 + 256 * 2;
+        if let Some(skip) = &self.skip {
+            table_bytes += skip.table_bytes();
+        }
+        TableFootprint {
+            states: parser_states + skip_states,
+            classes: self.stride as usize - 1,
+            table_bytes,
+            dense_bytes: (parser_states + skip_states) * 256 * 4,
+        }
+    }
+}
+
 /// Everything [`measure_pipeline`] produces: the normalized grammar,
 /// the fused grammar, the compiled parser, and the Table 1 / Table 2
 /// measurements.
@@ -137,5 +179,13 @@ mod tests {
         assert!(times.total() > Duration::ZERO);
         // compilation is fast (paper: 0.331 ms for sexp)
         assert!(times.total() < Duration::from_secs(2));
+
+        let fp = compiled.table_footprint();
+        assert!(fp.states >= sizes.functions, "{fp:?}");
+        assert!(fp.classes >= 1 && fp.classes <= 256, "{fp:?}");
+        assert!(
+            fp.table_bytes < fp.dense_bytes,
+            "alphabet compression must shrink the tables: {fp:?}"
+        );
     }
 }

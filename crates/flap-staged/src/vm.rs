@@ -1,7 +1,14 @@
 //! Execution of compiled parsers — the second stage of Fig 10.
 //!
 //! The per-character work here matches flap's generated OCaml (§5.5):
-//! index a dense table with the input byte and jump. Longest-match
+//! map the input byte to its equivalence class, index the flat
+//! alphabet-compressed table and jump. (Trailing skip input is
+//! scanned by the skip DFA's [`flap_regex::FlatDfa::run_longest`]
+//! kernel, whose self-loop states with small stay sets go eight
+//! bytes at a time via SWAR; inside this token loop the same
+//! acceleration measured net-negative — token-shaped runs are too
+//! short to amortize the scanner dispatch — so per-byte stepping
+//! stays unconditional.) Longest-match
 //! bookkeeping is one conditional move (the mark bit); production
 //! completion pushes the tail nonterminals on an explicit control
 //! stack instead of making nested calls, so deeply nested inputs
@@ -49,7 +56,7 @@
 
 use flap_fuse::{line_col, ByteSource, FusedParseError, Step, StreamError, StreamState};
 
-use crate::compile::{CompiledParser, CompiledProd, StopAction, STOP};
+use crate::compile::{decode_stop, CompiledParser, CompiledProd, StopAction, STOP};
 
 /// Control-stack entry: parse a nonterminal, or run a production's
 /// reduce.
@@ -68,15 +75,16 @@ enum Resume {
     /// At the top of the control loop, about to pop the next entry.
     Control,
     /// Mid-scan of one token of `nt`: the first `scanned` buffered
-    /// bytes have been fed to the automaton (now in state `st`), and
-    /// the longest match so far is `rs_len` bytes.
+    /// bytes have been fed to the automaton (now at flat-table row
+    /// `st`), and the longest match so far is `rs_len` bytes.
     Token {
         nt: u32,
         st: u32,
         rs_len: usize,
         scanned: usize,
     },
-    /// Mid-scan of one trailing skip lexeme in the skip DFA.
+    /// Mid-scan of one trailing skip lexeme in the skip DFA (`st` is
+    /// a [`flap_regex::FlatDfa`] row).
     Trailing {
         st: u32,
         best_len: usize,
@@ -234,8 +242,8 @@ impl<V> CompiledParser<V> {
                 // Resume a suspended scan (the token tail starts at
                 // buffer offset 0 by the retention invariant), or pop
                 // the next control entry and start a fresh one.
-                let (nt, mut tok_start, mut st, mut rs, mut i) = match suspended.take() {
-                    Some((nt, st, rs_len, scanned)) => (nt, 0, st, rs_len, scanned),
+                let (nt, mut tok_start, mut row, mut rs, mut i) = match suspended.take() {
+                    Some((nt, row, rs_len, scanned)) => (nt, 0, row, rs_len, scanned),
                     None => match control.pop() {
                         None => break 'outer,
                         Some(Ctl::Reduce(p)) => {
@@ -250,7 +258,7 @@ impl<V> CompiledParser<V> {
                             continue 'outer;
                         }
                         Some(Ctl::Nt(nt)) => {
-                            (nt, pos, self.nt_start[nt as usize] as usize, pos, pos)
+                            (nt, pos, self.nt_start_row[nt as usize] as usize, pos, pos)
                         }
                     },
                 };
@@ -260,7 +268,7 @@ impl<V> CompiledParser<V> {
                     let stop = loop {
                         if i >= input.len() {
                             if last {
-                                break self.stops[st];
+                                break decode_stop(self.trans[row]);
                             }
                             // Out of bytes with the scan still live:
                             // a longer match may arrive in the next
@@ -268,7 +276,7 @@ impl<V> CompiledParser<V> {
                             // bytes from tok_start on.
                             *resume = Resume::Token {
                                 nt,
-                                st: st as u32,
+                                st: row as u32,
                                 rs_len: rs - tok_start,
                                 scanned: i - tok_start,
                             };
@@ -276,15 +284,15 @@ impl<V> CompiledParser<V> {
                                 keep_from: tok_start,
                             };
                         }
-                        let e = self.trans[(st << 8) | input[i] as usize];
+                        let e = self.trans[row + self.class_map[input[i] as usize] as usize];
                         if e == STOP {
-                            break self.stops[st];
+                            break decode_stop(self.trans[row]);
                         }
                         i += 1;
                         if e & 1 == 1 {
                             rs = i;
                         }
-                        st = (e >> 1) as usize;
+                        row = (e >> 2) as usize;
                     };
                     match stop {
                         StopAction::Fail => {
@@ -297,7 +305,7 @@ impl<V> CompiledParser<V> {
                             return Flow::NoMatch {
                                 pos: tok_start,
                                 nt,
-                                state: st as u32,
+                                state: (row / self.stride as usize) as u32,
                             };
                         }
                         StopAction::Eps(n) => {
@@ -315,7 +323,7 @@ impl<V> CompiledParser<V> {
                             match &self.prods[p as usize] {
                                 CompiledProd::Skip { .. } => {
                                     tok_start = pos;
-                                    st = self.nt_start[nt as usize] as usize;
+                                    row = self.nt_start_row[nt as usize] as usize;
                                     rs = pos;
                                     i = pos;
                                     continue 'token;
@@ -370,40 +378,31 @@ impl<V> CompiledParser<V> {
             *resume = Resume::Idle;
             return Flow::Done;
         };
-        let states = skip.states();
-        let (mut tok_start, mut st, mut best, mut i) = match *resume {
+        let (mut tok_start, mut row, mut best, mut i) = match *resume {
             Resume::Trailing {
                 st,
                 best_len,
                 scanned,
-            } => (0, st as usize, best_len, scanned),
+            } => (0, st, best_len, scanned),
             _ => (pos, 0, 0, pos),
         };
         loop {
-            // longest-match scan of one skip lexeme from tok_start
-            loop {
-                if i >= input.len() {
-                    if last {
-                        break;
-                    }
-                    *resume = Resume::Trailing {
-                        st: st as u32,
-                        best_len: best,
-                        scanned: i - tok_start,
-                    };
-                    return Flow::More {
-                        keep_from: tok_start,
-                    };
-                }
-                let next = states[st].next[input[i] as usize] as usize;
-                if states[next].regex == flap_regex::RegexArena::EMPTY {
-                    break;
-                }
-                i += 1;
-                st = next;
-                if states[st].accepting {
-                    best = i - tok_start;
-                }
+            // longest-match scan of one skip lexeme from tok_start;
+            // the flat skip DFA's sink is the DEAD sentinel, so the
+            // kernel needs no arena probe per byte
+            let (r, j, b, dead) = skip.run_longest(input, row, i, tok_start, best);
+            row = r;
+            i = j;
+            best = b;
+            if !dead && !last {
+                *resume = Resume::Trailing {
+                    st: row,
+                    best_len: best,
+                    scanned: i - tok_start,
+                };
+                return Flow::More {
+                    keep_from: tok_start,
+                };
             }
             if best == 0 {
                 break;
@@ -411,7 +410,7 @@ impl<V> CompiledParser<V> {
             // commit the lexeme; rescan any lookahead bytes beyond it
             tok_start += best;
             i = tok_start;
-            st = 0;
+            row = 0;
             best = 0;
         }
         if tok_start < input.len() {

@@ -10,7 +10,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use flap_lex::{lex_reference, CompiledLexer, LexerBuilder};
-use flap_regex::{ByteSet, Dfa, RegexArena, RegexId};
+use flap_regex::{ByteSet, Dfa, FlatDfa, RegexArena, RegexId};
 
 /// A tiny regex AST we can generate structurally, then intern.
 #[derive(Clone, Debug)]
@@ -140,6 +140,47 @@ fn dfa_agrees_with_derivatives() {
             ar.matches(id, &w),
             "disagreement on {rx:?} / {w:?} (seed {seed})"
         );
+    }
+}
+
+/// The flattened alphabet-compressed representation is an exact
+/// drop-in for the dense DFA: same whole-string verdicts and same
+/// longest-match lengths, on both random words and byte-run inputs
+/// (runs exercise the SWAR self-loop fast path).
+#[test]
+fn flat_dfa_agrees_with_dense_dfa() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(4_000 + seed);
+        let rx = random_rx(&mut rng, 3);
+        let mut ar = RegexArena::new();
+        let id = intern(&mut ar, &rx);
+        // star-wrap every other case so self-loop (accelerable)
+        // states actually occur
+        let id = if seed % 2 == 0 { ar.star(id) } else { id };
+        let dense = Dfa::build(&mut ar, id);
+        let flat = FlatDfa::from_dense(&dense);
+        let mut words: Vec<Vec<u8>> = (0..8).map(|_| random_word(&mut rng, 24)).collect();
+        // byte runs well past the 8-byte SWAR chunk, plus a leaving
+        // byte in the middle
+        for b in b'a'..=b'e' {
+            words.push(vec![b; 37]);
+            let mut w = vec![b; 20];
+            w[10] = b'!';
+            words.push(w);
+        }
+        words.push(Vec::new());
+        for w in &words {
+            assert_eq!(
+                flat.matches(w),
+                dense.matches(w),
+                "matches disagrees on {rx:?} / {w:?} (seed {seed})"
+            );
+            assert_eq!(
+                flat.longest_match(w),
+                dense.longest_match(w),
+                "longest_match disagrees on {rx:?} / {w:?} (seed {seed})"
+            );
+        }
     }
 }
 
