@@ -134,6 +134,11 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
+//! For a *long-lived* service — persistent workers, a bounded
+//! submission queue with backpressure, panic isolation and built-in
+//! metrics — use [`Parser::serve`] and the [`serve`] module instead
+//! of re-spawning `parse_batch` threads per call.
+//!
 //! # Crate map
 //!
 //! This crate re-exports the user-facing pieces of the pipeline
@@ -155,6 +160,7 @@
 #![allow(clippy::result_large_err)]
 
 mod parser;
+pub mod serve;
 pub mod typed;
 
 pub use flap_cfe::{node_count, type_check, Cfe, Ty, TypeError, VarId};

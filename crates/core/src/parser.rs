@@ -277,14 +277,28 @@ impl<V: Send + 'static> Parser<V> {
     /// atomic cursor over the batch), so skewed input sizes don't
     /// stall a whole shard.
     ///
-    /// `threads == 0` selects [`std::thread::available_parallelism`];
-    /// `threads == 1` parses inline on the calling thread, making the
-    /// single-thread case an honest baseline for scaling comparisons.
+    /// `threads == 0` is not an error: it *clamps* to
+    /// [`std::thread::available_parallelism`] (falling back to 1 if
+    /// that is unavailable), so `parse_batch(inputs, 0)` means "use
+    /// the whole machine". `threads == 1` parses inline on the
+    /// calling thread, making the single-thread case an honest
+    /// baseline for scaling comparisons. An empty `inputs` slice
+    /// returns an empty vector without spawning any threads.
+    ///
+    /// Each call pays the scoped-thread spawn/join cost, which is the
+    /// right trade for one big batch. A service parsing many small
+    /// batches (or single documents) over time should instead keep a
+    /// [`Parser::serve`] pool, which reuses its workers and sessions
+    /// across submissions; `parse_batch` remains the zero-setup
+    /// fallback.
     pub fn parse_batch<I: AsRef<[u8]> + Sync>(
         &self,
         inputs: &[I],
         threads: usize,
     ) -> Vec<Result<V, FusedParseError>> {
+        if inputs.is_empty() {
+            return Vec::new();
+        }
         let threads = match threads {
             0 => std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -333,6 +347,17 @@ impl<V: Send + 'static> Parser<V> {
             .into_iter()
             .map(|r| r.expect("every input index was claimed by a worker"))
             .collect()
+    }
+
+    /// Spawns a persistent worker pool serving this parser: long-lived
+    /// workers with reusable sessions, a bounded submission queue with
+    /// explicit backpressure, panic isolation and built-in metrics.
+    /// The pool shares the compiled tables via [`Parser::compiled_arc`]
+    /// and outlives this `Parser` if need be.
+    ///
+    /// See the [`crate::serve`] module docs for the full API.
+    pub fn serve(&self, config: crate::serve::PoolConfig) -> crate::serve::ParsePool<V> {
+        crate::serve::ParsePool::new(self.compiled_arc(), config)
     }
 }
 

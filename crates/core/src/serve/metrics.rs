@@ -1,0 +1,319 @@
+//! Dependency-free service metrics: atomic counters plus a
+//! fixed-bucket latency histogram.
+//!
+//! Every [`ParsePool`](super::ParsePool) owns one [`Metrics`]; workers
+//! and submitters update it with relaxed atomics (no locks, no
+//! allocation — the counters live on the job hot path and must not
+//! disturb the zero-allocation steady state). [`Metrics::snapshot`]
+//! reads a consistent-enough point-in-time copy for reporting, and
+//! [`MetricsSnapshot`] renders as a compact text report via
+//! `Display`.
+//!
+//! Latencies are recorded in power-of-two microsecond buckets
+//! (bucket *i* holds completions with latency < 2^*i* µs), which is
+//! coarse but fixed-size: recording is one `fetch_add` on an array
+//! slot, and quantile estimates come out as tight upper bounds.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of latency buckets; bucket `i < BUCKETS-1` counts
+/// completions with latency < 2^i µs, the last bucket catches
+/// everything slower (≥ ~35 minutes — effectively "stuck").
+pub const LATENCY_BUCKETS: usize = 32;
+
+/// Live counters for one [`ParsePool`](super::ParsePool). All updates
+/// are relaxed atomics; read a coherent view with
+/// [`Metrics::snapshot`].
+pub struct Metrics {
+    label: Box<str>,
+    workers: usize,
+    queue_capacity: usize,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    parse_errors: AtomicU64,
+    panicked: AtomicU64,
+    rejected: AtomicU64,
+    workers_replaced: AtomicU64,
+    bytes_parsed: AtomicU64,
+    queue_depth: AtomicU64,
+    queue_high_water: AtomicU64,
+    latency: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl Metrics {
+    pub(super) fn new(label: &str, workers: usize, queue_capacity: usize) -> Metrics {
+        Metrics {
+            label: label.into(),
+            workers,
+            queue_capacity,
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            parse_errors: AtomicU64::new(0),
+            panicked: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            workers_replaced: AtomicU64::new(0),
+            bytes_parsed: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            queue_high_water: AtomicU64::new(0),
+            latency: [const { AtomicU64::new(0) }; LATENCY_BUCKETS],
+        }
+    }
+
+    pub(super) fn job_submitted(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(super) fn job_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(super) fn worker_replaced(&self) {
+        self.workers_replaced.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the queue length after a push or pop; pushes also
+    /// advance the high-water mark.
+    pub(super) fn queue_len(&self, len: usize, push: bool) {
+        self.queue_depth.store(len as u64, Ordering::Relaxed);
+        if push {
+            self.queue_high_water
+                .fetch_max(len as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a finished job: its outcome, the bytes it parsed and
+    /// its submit-to-completion latency.
+    pub(super) fn job_finished(&self, outcome: Outcome, bytes: usize, latency_us: u64) {
+        match outcome {
+            Outcome::Completed => &self.completed,
+            Outcome::ParseError => &self.parse_errors,
+            Outcome::Panicked => &self.panicked,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        self.bytes_parsed.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.latency[bucket_of(latency_us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every counter, suitable for reporting.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            label: self.label.to_string(),
+            workers: self.workers,
+            queue_capacity: self.queue_capacity,
+            submitted: load(&self.submitted),
+            completed: load(&self.completed),
+            parse_errors: load(&self.parse_errors),
+            panicked: load(&self.panicked),
+            rejected: load(&self.rejected),
+            workers_replaced: load(&self.workers_replaced),
+            bytes_parsed: load(&self.bytes_parsed),
+            queue_depth: load(&self.queue_depth),
+            queue_high_water: load(&self.queue_high_water),
+            latency_us: LatencyHistogram {
+                buckets: std::array::from_fn(|i| load(&self.latency[i])),
+            },
+        }
+    }
+}
+
+/// How a job ended, for [`Metrics::job_finished`].
+#[derive(Clone, Copy, Debug)]
+pub(super) enum Outcome {
+    /// Produced a semantic value (or a mid-stream `NeedMore`).
+    Completed,
+    /// The input failed to parse.
+    ParseError,
+    /// A semantic action panicked.
+    Panicked,
+}
+
+/// The histogram bucket for a latency in microseconds: the number of
+/// significant bits, so bucket `i` covers `[2^(i-1), 2^i)` µs and a
+/// sample in bucket `i` is guaranteed to be `< 2^i` µs.
+fn bucket_of(us: u64) -> usize {
+    ((u64::BITS - us.leading_zeros()) as usize).min(LATENCY_BUCKETS - 1)
+}
+
+/// A point-in-time copy of a pool's [`Metrics`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// The pool's label (e.g. the grammar it serves).
+    pub label: String,
+    /// Configured worker count.
+    pub workers: usize,
+    /// Configured submission-queue capacity.
+    pub queue_capacity: usize,
+    /// Jobs accepted into the queue (parse jobs and stream feeds).
+    pub submitted: u64,
+    /// Jobs that produced a value (including mid-stream `NeedMore`).
+    pub completed: u64,
+    /// Jobs that failed with a parse error.
+    pub parse_errors: u64,
+    /// Jobs killed by a panicking semantic action.
+    pub panicked: u64,
+    /// `try_submit` calls refused because the queue was full.
+    pub rejected: u64,
+    /// Workers replaced after a panic poisoned their session.
+    pub workers_replaced: u64,
+    /// Input bytes handed to finished jobs.
+    pub bytes_parsed: u64,
+    /// Queue length at snapshot time.
+    pub queue_depth: u64,
+    /// Deepest the queue has ever been.
+    pub queue_high_water: u64,
+    /// Submit-to-completion latency histogram.
+    pub latency_us: LatencyHistogram,
+}
+
+impl MetricsSnapshot {
+    /// Jobs that reached a terminal state, whatever it was.
+    pub fn finished(&self) -> u64 {
+        self.completed + self.parse_errors + self.panicked
+    }
+
+    /// The text report (same as `Display`).
+    pub fn render(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "pool {:?}: {} workers, queue capacity {}",
+            self.label, self.workers, self.queue_capacity
+        )?;
+        writeln!(
+            f,
+            "  jobs     submitted {}, completed {}, parse errors {}, panicked {}, rejected {}",
+            self.submitted, self.completed, self.parse_errors, self.panicked, self.rejected
+        )?;
+        writeln!(
+            f,
+            "  queue    depth {}, high-water {}",
+            self.queue_depth, self.queue_high_water
+        )?;
+        writeln!(f, "  workers  replaced {}", self.workers_replaced)?;
+        writeln!(f, "  volume   {} bytes parsed", self.bytes_parsed)?;
+        let h = &self.latency_us;
+        if h.count() == 0 {
+            write!(f, "  latency  no samples")
+        } else {
+            write!(
+                f,
+                "  latency  p50 < {}, p90 < {}, p99 < {} ({} samples)",
+                format_us(h.quantile_upper_us(0.50)),
+                format_us(h.quantile_upper_us(0.90)),
+                format_us(h.quantile_upper_us(0.99)),
+                h.count()
+            )
+        }
+    }
+}
+
+/// Submit-to-completion latencies in power-of-two microsecond
+/// buckets: `buckets[i]` counts completions with latency < 2^i µs
+/// (and ≥ 2^(i-1) µs for i > 0); the last bucket is a catch-all.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// Raw bucket counts.
+    pub buckets: [u64; LATENCY_BUCKETS],
+}
+
+impl LatencyHistogram {
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// An upper bound (in µs) on the `q`-quantile latency: the
+    /// exclusive upper edge of the bucket containing it. Returns 0
+    /// when no samples have been recorded.
+    pub fn quantile_upper_us(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return 1u64 << i.min(63);
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// `123µs` / `1.5ms` / `2.0s`, for the text report.
+fn format_us(us: u64) -> String {
+    if us < 1_000 {
+        format!("{us}µs")
+    } else if us < 1_000_000 {
+        format!("{:.1}ms", us as f64 / 1e3)
+    } else {
+        format!("{:.1}s", us as f64 / 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(u64::MAX), LATENCY_BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_are_upper_bounds() {
+        let m = Metrics::new("t", 1, 4);
+        // 90 fast completions (~100µs bucket) and 10 slow (~10ms)
+        for _ in 0..90 {
+            m.job_finished(Outcome::Completed, 10, 100);
+        }
+        for _ in 0..10 {
+            m.job_finished(Outcome::Completed, 10, 10_000);
+        }
+        let s = m.snapshot();
+        assert_eq!(s.completed, 100);
+        assert_eq!(s.bytes_parsed, 1000);
+        assert_eq!(s.latency_us.count(), 100);
+        // 100µs has 7 bits -> bucket 7, upper bound 128µs
+        assert_eq!(s.latency_us.quantile_upper_us(0.5), 128);
+        // 10_000µs has 14 bits -> bucket 14, upper bound 16384µs
+        assert_eq!(s.latency_us.quantile_upper_us(0.99), 16384);
+        assert!(s.render().contains("p50 < 128µs"), "{}", s.render());
+    }
+
+    #[test]
+    fn snapshot_renders_every_counter() {
+        let m = Metrics::new("json", 4, 8);
+        m.job_submitted();
+        m.job_rejected();
+        m.worker_replaced();
+        m.queue_len(3, true);
+        m.job_finished(Outcome::Panicked, 5, 2);
+        let s = m.snapshot();
+        assert_eq!(
+            (s.submitted, s.rejected, s.workers_replaced, s.panicked),
+            (1, 1, 1, 1)
+        );
+        assert_eq!(s.queue_high_water, 3);
+        assert_eq!(s.finished(), 1);
+        let text = s.render();
+        for needle in ["pool \"json\"", "rejected 1", "replaced 1", "high-water 3"] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+}

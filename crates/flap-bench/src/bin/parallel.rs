@@ -1,30 +1,110 @@
 //! Multi-thread scaling of one shared compiled parser: the
-//! throughput driver for the `Send + Sync` engine.
+//! throughput driver for the `Send + Sync` engine, comparing the
+//! per-call scoped-thread `Parser::parse_batch` against a persistent
+//! `flap::serve` worker pool at equal worker counts.
 //!
-//! Usage: `cargo run -p flap-bench --release --bin parallel
-//! [docs] [doc_kb]` (default 256 documents of ≈8 KiB).
+//! Usage: `cargo run -p flap-bench --release --bin parallel --
+//! [docs] [doc_kb] [--json] [--smoke [snapshot]]` (default 256
+//! documents of ≈8 KiB).
+//!
+//! * `--json` prints the results as a JSON document (the schema of
+//!   the checked-in `BENCH_parallel.json`) instead of the table.
+//! * `--smoke [snapshot]` runs a fast small-input pass and compares
+//!   the document's *schema* (grammars, modes, thread counts — not
+//!   the machine-dependent numbers) against the checked-in snapshot
+//!   (default `BENCH_parallel.json`), exiting non-zero on drift.
 //!
 //! One immutable `flap::Parser` per grammar (JSON and s-expressions)
-//! is shared by reference across scoped worker threads via
-//! `Parser::parse_batch`; each worker reuses one `ParseSession`. The
-//! table reports MB/s at 1/2/4/8 threads and the speedup over the
-//! single-thread baseline. Because the compiled tables are immutable
-//! and sessions are thread-local, scaling should track physical
-//! cores; a flat line here means the ownership refactor regressed.
+//! is shared across workers; each worker reuses one `ParseSession`.
+//! The `scoped` rows spawn threads per call; the `pooled` rows submit
+//! the same batch (as shared `Arc<[u8]>` documents, so submission
+//! clones a pointer, not the bytes) to a pre-spawned pool. Pooled
+//! throughput should meet or beat scoped at equal worker counts —
+//! that is the point of amortizing the spawn. Every result is checked
+//! against the independent reference parser. Scaling should track
+//! physical cores; a flat line on a 1-core host is the hardware, not
+//! a regression.
 
+use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
+use flap::serve::PoolConfig;
+use flap_bench::json::{obj, Json};
 use flap_grammars::GrammarDef;
 
 const THREADS: [usize; 4] = [1, 2, 4, 8];
-const ITERS: usize = 5;
 
-fn bench_one(def: &GrammarDef<i64>, docs: usize, doc_bytes: usize) {
+struct Options {
+    docs: usize,
+    doc_kb: usize,
+    json: bool,
+    /// `Some(snapshot_path)` when running as a CI smoke check.
+    smoke: Option<String>,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        docs: 256,
+        doc_kb: 8,
+        json: false,
+        smoke: None,
+    };
+    let mut positional = Vec::new();
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => opts.json = true,
+            "--smoke" => {
+                let path = match args.peek() {
+                    Some(p) if !p.starts_with('-') && p.parse::<usize>().is_err() => {
+                        args.next().unwrap()
+                    }
+                    _ => "BENCH_parallel.json".to_string(),
+                };
+                opts.smoke = Some(path);
+            }
+            other => {
+                if let Ok(v) = other.parse::<usize>() {
+                    positional.push(v);
+                }
+            }
+        }
+    }
+    match positional.as_slice() {
+        [docs] => opts.docs = *docs,
+        [docs, doc_kb, ..] => {
+            opts.docs = *docs;
+            opts.doc_kb = *doc_kb;
+        }
+        [] => {
+            if opts.smoke.is_some() {
+                // fast schema-only pass: numbers are not meaningful
+                opts.docs = 24;
+                opts.doc_kb = 2;
+            }
+        }
+    }
+    opts
+}
+
+struct GrammarResult {
+    name: &'static str,
+    total_bytes: usize,
+    /// MB/s per entry of `THREADS`.
+    scoped: Vec<f64>,
+    pooled: Vec<f64>,
+}
+
+fn bench_one(def: &GrammarDef<i64>, docs: usize, doc_bytes: usize, iters: usize) -> GrammarResult {
     let parser = def.flap_parser();
     let batch: Vec<Vec<u8>> = (0..docs as u64)
         .map(|seed| (def.generate)(seed, doc_bytes))
         .collect();
     let total_bytes: usize = batch.iter().map(Vec::len).sum();
+    // pooled submissions share the documents: an Arc clone per job,
+    // prepared outside the timed region
+    let shared: Vec<Arc<[u8]>> = batch.iter().map(|d| Arc::from(d.as_slice())).collect();
 
     // correctness first: every worker result must agree with the oracle
     let expected: Vec<i64> = batch
@@ -32,15 +112,11 @@ fn bench_one(def: &GrammarDef<i64>, docs: usize, doc_bytes: usize) {
         .map(|d| (def.reference)(d).expect("generated input is valid"))
         .collect();
 
-    print!(
-        "{:<8}{:>10}",
-        def.name,
-        format!("{} KB", total_bytes / 1024)
-    );
-    let mut base = 0.0f64;
+    let mut scoped = Vec::new();
+    let mut pooled = Vec::new();
     for &threads in &THREADS {
         let mut best = f64::INFINITY;
-        for _ in 0..ITERS {
+        for _ in 0..iters {
             let t0 = Instant::now();
             let results = parser.parse_batch(&batch, threads);
             let dt = t0.elapsed().as_secs_f64();
@@ -48,47 +124,161 @@ fn bench_one(def: &GrammarDef<i64>, docs: usize, doc_bytes: usize) {
                 assert_eq!(
                     r.as_ref().ok(),
                     Some(e),
-                    "worker result disagrees with oracle"
+                    "scoped worker result disagrees with oracle"
                 );
             }
             best = best.min(dt);
         }
-        let mbps = total_bytes as f64 / best / 1e6;
-        if threads == 1 {
-            base = mbps;
+        scoped.push(total_bytes as f64 / best / 1e6);
+
+        let pool = parser.serve(
+            PoolConfig::default()
+                .workers(threads)
+                .queue_capacity(threads * 4)
+                .label(def.name),
+        );
+        // warm-up: grow worker sessions once so timed runs measure
+        // the steady state, same as the scoped path's reused sessions
+        pool.parse_batch(shared.iter().cloned());
+        let mut best = f64::INFINITY;
+        for _ in 0..iters {
+            let t0 = Instant::now();
+            let results = pool.parse_batch(shared.iter().cloned());
+            let dt = t0.elapsed().as_secs_f64();
+            for (r, e) in results.iter().zip(&expected) {
+                assert_eq!(
+                    r.as_ref().ok(),
+                    Some(e),
+                    "pooled worker result disagrees with oracle"
+                );
+            }
+            best = best.min(dt);
         }
-        print!("{:>9.1} ({:>4.2}x)", mbps, mbps / base);
+        pooled.push(total_bytes as f64 / best / 1e6);
+        pool.shutdown();
     }
-    println!();
+    GrammarResult {
+        name: def.name,
+        total_bytes,
+        scoped,
+        pooled,
+    }
 }
 
-fn main() {
-    let docs: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(256);
-    let doc_kb: usize = std::env::args()
-        .nth(2)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(8);
+/// One `{thread-count: MB/s}` object in `THREADS` order.
+fn thread_row(values: &[f64]) -> Json {
+    Json::Obj(
+        THREADS
+            .iter()
+            .zip(values)
+            .map(|(t, v)| (t.to_string(), Json::Num((v * 10.0).round() / 10.0)))
+            .collect(),
+    )
+}
+
+fn report(results: &[GrammarResult], opts: &Options, iters: usize) -> Json {
+    let rows = results
+        .iter()
+        .map(|r| {
+            let ratio: Vec<f64> = r.pooled.iter().zip(&r.scoped).map(|(p, s)| p / s).collect();
+            (
+                r.name.to_string(),
+                obj(vec![
+                    ("scoped", thread_row(&r.scoped)),
+                    ("pooled", thread_row(&r.pooled)),
+                    ("pooled/scoped", thread_row(&ratio)),
+                ]),
+            )
+        })
+        .collect();
+    obj(vec![
+        ("bench", Json::Str("parallel".to_string())),
+        ("unit", Json::Str("MB/s".to_string())),
+        ("docs", Json::Num(opts.docs as f64)),
+        ("doc_kb", Json::Num(opts.doc_kb as f64)),
+        ("iters", Json::Num(iters as f64)),
+        (
+            "threads",
+            Json::Arr(THREADS.iter().map(|t| Json::Num(*t as f64)).collect()),
+        ),
+        ("rows", Json::Obj(rows)),
+    ])
+}
+
+fn print_table(results: &[GrammarResult], opts: &Options, iters: usize) {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-
     println!(
-        "Parallel throughput: {docs} docs x {doc_kb} KiB, best of {ITERS} runs, \
-         {cores} cores available"
+        "Parallel throughput: {} docs x {} KiB, best of {iters} runs, {cores} cores available",
+        opts.docs, opts.doc_kb
     );
     println!();
-    print!("{:<8}{:>10}", "grammar", "batch");
+    print!("{:<8}{:<8}{:>10}", "grammar", "mode", "batch");
     for t in THREADS {
-        print!("{:>17}", format!("{t} thread(s)"));
+        print!("{:>17}", format!("{t} worker(s)"));
     }
     println!();
-    bench_one(&flap_grammars::json::def(), docs, doc_kb * 1024);
-    bench_one(&flap_grammars::sexp::def(), docs, doc_kb * 1024);
+    for r in results {
+        for (mode, row) in [("scoped", &r.scoped), ("pooled", &r.pooled)] {
+            print!(
+                "{:<8}{:<8}{:>10}",
+                r.name,
+                mode,
+                format!("{} KB", r.total_bytes / 1024)
+            );
+            let base = row[0];
+            for v in row {
+                print!("{:>9.1} ({:>4.2}x)", v, v / base);
+            }
+            println!();
+        }
+    }
     println!();
     println!(
-        "MB/s (speedup vs 1 thread). Parser shared by reference; one ParseSession per worker."
+        "MB/s (speedup vs 1 worker). scoped = Parser::parse_batch, threads spawned per call;\n\
+         pooled = flap::serve::ParsePool::parse_batch, persistent workers, Arc'd documents."
     );
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let iters = if opts.smoke.is_some() { 2 } else { 5 };
+
+    let results: Vec<GrammarResult> = [flap_grammars::json::def(), flap_grammars::sexp::def()]
+        .iter()
+        .map(|def| bench_one(def, opts.docs, opts.doc_kb * 1024, iters))
+        .collect();
+    let doc = report(&results, &opts, iters);
+
+    if let Some(snapshot) = &opts.smoke {
+        let text = match std::fs::read_to_string(snapshot) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("parallel --smoke: cannot read snapshot {snapshot}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let snap = match Json::parse(&text) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("parallel --smoke: snapshot {snapshot} is not valid JSON: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if !snap.same_schema(&doc) {
+            eprintln!(
+                "parallel --smoke: schema drift between {snapshot} and the harness.\n\
+                 Regenerate with: cargo run --release -p flap-bench --bin parallel -- --json \
+                 > BENCH_parallel.json\ncurrent harness output:\n{doc}"
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("parallel --smoke: snapshot {snapshot} schema matches the harness");
+    } else if opts.json {
+        println!("{doc}");
+    } else {
+        print_table(&results, &opts, iters);
+    }
+    ExitCode::SUCCESS
 }

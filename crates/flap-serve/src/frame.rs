@@ -1,0 +1,134 @@
+//! Length-prefixed framing for request firehoses.
+//!
+//! A frame is a little-endian `u32` payload length followed by the
+//! payload bytes. This is the simplest framing that survives
+//! concatenation and carries binary-safe payloads; the `flap-serve`
+//! demo binary uses it for its request files, and anything that can
+//! produce a `Read` (socket, pipe, file) can feed it.
+
+use std::io::{self, Read, Write};
+
+/// Frames larger than this are rejected as corrupt rather than
+/// allocated: 64 MiB, far beyond any sane parse request.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// Writes one frame: `u32` little-endian length, then the payload.
+///
+/// # Errors
+///
+/// Any I/O error of the underlying writer; `InvalidInput` if the
+/// payload exceeds [`MAX_FRAME_LEN`].
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame exceeds MAX_FRAME_LEN",
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Reads frames back out of a byte stream, reusing one internal
+/// buffer across frames.
+pub struct FrameReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wraps a reader positioned at the start of a frame.
+    pub fn new(inner: R) -> FrameReader<R> {
+        FrameReader {
+            inner,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Reads the next frame, returning `None` at a clean end of
+    /// stream. The slice borrows the reader's internal buffer and is
+    /// valid until the next call; callers that need to keep the bytes
+    /// copy them (e.g. into an `Arc<[u8]>`).
+    ///
+    /// # Errors
+    ///
+    /// `UnexpectedEof` on a truncated frame, `InvalidData` on an
+    /// oversized length prefix, and any I/O error of the reader.
+    pub fn next_frame(&mut self) -> io::Result<Option<&[u8]>> {
+        let mut len_bytes = [0u8; 4];
+        // distinguish clean EOF (nothing to read) from truncation
+        match self.inner.read(&mut len_bytes) {
+            Ok(0) => return Ok(None),
+            Ok(n) => self.inner.read_exact(&mut len_bytes[n..])?,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                return self.next_frame();
+            }
+            Err(e) => return Err(e),
+        }
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "frame length prefix exceeds MAX_FRAME_LEN",
+            ));
+        }
+        self.buf.resize(len, 0);
+        self.inner.read_exact(&mut self.buf)?;
+        Ok(Some(&self.buf))
+    }
+
+    /// Unwraps the underlying reader.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut wire = Vec::new();
+        let frames: [&[u8]; 4] = [b"hello", b"", b"\x00\xff binary \x01", b"last"];
+        for f in frames {
+            write_frame(&mut wire, f).unwrap();
+        }
+        let mut r = FrameReader::new(&wire[..]);
+        for f in frames {
+            assert_eq!(r.next_frame().unwrap(), Some(f));
+        }
+        assert_eq!(r.next_frame().unwrap(), None);
+        assert_eq!(r.next_frame().unwrap(), None, "EOF is sticky");
+    }
+
+    #[test]
+    fn truncated_payload_is_an_error() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"full frame").unwrap();
+        wire.truncate(wire.len() - 3);
+        let mut r = FrameReader::new(&wire[..]);
+        let err = r.next_frame().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn truncated_length_prefix_is_an_error() {
+        let wire = [7u8, 0]; // half a length prefix
+        let mut r = FrameReader::new(&wire[..]);
+        assert_eq!(
+            r.next_frame().unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let wire = (MAX_FRAME_LEN as u32 + 1).to_le_bytes();
+        let mut r = FrameReader::new(&wire[..]);
+        assert_eq!(
+            r.next_frame().unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+}

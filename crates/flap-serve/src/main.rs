@@ -1,0 +1,315 @@
+//! The `flap-serve` demo server: parses a firehose of length-prefixed
+//! requests across a worker pool and prints the pool's metrics.
+//!
+//! ```text
+//! flap-serve gen <grammar> <doc-bytes> <count> <out|-> [seed]
+//! flap-serve run <grammar> <file|-> [--workers N] [--queue N]
+//!                [--mode block|try|stream] [--check] [--expect-rejections]
+//! ```
+//!
+//! `gen` writes a firehose file: `<count>` generated documents of
+//! roughly `<doc-bytes>` bytes each, framed per [`flap_serve::frame`].
+//! `run` serves it: every frame becomes one pool job (`--mode block`
+//! submits cooperatively, `--mode try` exercises admission control and
+//! sheds to waiting only when `Busy`, `--mode stream` feeds each
+//! document in chunks through a pooled streaming job). `--check`
+//! verifies the summed semantic values against the grammar's
+//! independent reference parser; `--expect-rejections` fails the run
+//! unless backpressure actually rejected something (used by CI with a
+//! tiny queue).
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::process::ExitCode;
+
+use flap_grammars::GrammarDef;
+use flap_serve::frame::{write_frame, FrameReader};
+use flap_serve::{JobError, JobHandle, ParsePool, PoolConfig, SubmitError};
+
+fn grammar(name: &str) -> Option<GrammarDef<i64>> {
+    Some(match name {
+        "json" => flap_grammars::json::def(),
+        "sexp" => flap_grammars::sexp::def(),
+        "csv" => flap_grammars::csv::def(),
+        "pgn" => flap_grammars::pgn::def(),
+        _ => return None,
+    })
+}
+
+const USAGE: &str = "usage:
+  flap-serve gen <grammar> <doc-bytes> <count> <out|-> [seed]
+  flap-serve run <grammar> <file|-> [--workers N] [--queue N]
+                 [--mode block|try|stream] [--check] [--expect-rejections]
+grammars: json, sexp, csv, pgn";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("gen") => gen(&args[1..]),
+        Some("run") => run(&args[1..]),
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(1);
+        }
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("flap-serve: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// gen
+
+fn gen(args: &[String]) -> io::Result<ExitCode> {
+    let (name, doc_bytes, count, out, seed) = match args {
+        [name, doc_bytes, count, out, rest @ ..] if rest.len() <= 1 => {
+            let parse = |s: &String| {
+                s.parse::<usize>()
+                    .map_err(|e| io::Error::other(e.to_string()))
+            };
+            let seed = match rest {
+                [s] => parse(s)? as u64,
+                _ => 42,
+            };
+            (name, parse(doc_bytes)?, parse(count)?, out, seed)
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            return Ok(ExitCode::from(1));
+        }
+    };
+    let def = grammar(name).ok_or_else(|| io::Error::other(format!("unknown grammar {name}")))?;
+    let mut sink: Box<dyn Write> = match out.as_str() {
+        "-" => Box::new(BufWriter::new(io::stdout().lock())),
+        path => Box::new(BufWriter::new(File::create(path)?)),
+    };
+    let mut total = 0usize;
+    for i in 0..count {
+        let doc = (def.generate)(seed.wrapping_add(i as u64), doc_bytes);
+        total += doc.len();
+        write_frame(&mut sink, &doc)?;
+    }
+    sink.flush()?;
+    eprintln!("flap-serve gen: {count} {name} frames, {total} payload bytes");
+    Ok(ExitCode::SUCCESS)
+}
+
+// ---------------------------------------------------------------------------
+// run
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Block,
+    Try,
+    Stream,
+}
+
+struct RunOpts {
+    workers: usize,
+    queue: usize,
+    mode: Mode,
+    check: bool,
+    expect_rejections: bool,
+}
+
+/// Streaming jobs feed documents in chunks of this size.
+const STREAM_CHUNK: usize = 1024;
+
+/// Completed-handle backlog bound: drain the oldest once this many
+/// jobs are outstanding, so an arbitrarily long firehose runs in
+/// constant memory.
+const MAX_OUTSTANDING: usize = 1024;
+
+fn run(args: &[String]) -> io::Result<ExitCode> {
+    let [name, input, flags @ ..] = args else {
+        eprintln!("{USAGE}");
+        return Ok(ExitCode::from(1));
+    };
+    let mut opts = RunOpts {
+        workers: 0,
+        queue: 0,
+        mode: Mode::Block,
+        check: false,
+        expect_rejections: false,
+    };
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .ok_or_else(|| io::Error::other(format!("{flag} needs {what}")))
+        };
+        match flag.as_str() {
+            "--workers" => opts.workers = parse_num(value("a count")?)?,
+            "--queue" => opts.queue = parse_num(value("a capacity")?)?,
+            "--mode" => {
+                opts.mode = match value("block|try|stream")?.as_str() {
+                    "block" => Mode::Block,
+                    "try" => Mode::Try,
+                    "stream" => Mode::Stream,
+                    other => return Err(io::Error::other(format!("unknown mode {other}"))),
+                }
+            }
+            "--check" => opts.check = true,
+            "--expect-rejections" => opts.expect_rejections = true,
+            other => return Err(io::Error::other(format!("unknown flag {other}"))),
+        }
+    }
+
+    let def = grammar(name).ok_or_else(|| io::Error::other(format!("unknown grammar {name}")))?;
+    let parser = def.flap_parser();
+    let pool = parser.serve(
+        PoolConfig::default()
+            .workers(opts.workers)
+            .queue_capacity(opts.queue)
+            .label(def.name),
+    );
+
+    let source: Box<dyn Read> = match input.as_str() {
+        "-" => Box::new(io::stdin().lock()),
+        path => Box::new(File::open(path)?),
+    };
+    let mut frames = FrameReader::new(BufReader::new(source));
+
+    let mut tally = Tally::default();
+    let mut outstanding: VecDeque<JobHandle<i64>> = VecDeque::new();
+    let mut expected_sum: i64 = 0;
+    while let Some(doc) = frames.next_frame()? {
+        if opts.check {
+            expected_sum += (def.reference)(doc)
+                .map_err(|e| io::Error::other(format!("reference parser rejected a doc: {e}")))?;
+        }
+        while outstanding.len() >= MAX_OUTSTANDING {
+            tally.settle(&def, outstanding.pop_front().expect("non-empty").wait());
+        }
+        match opts.mode {
+            Mode::Block => {
+                let handle = pool
+                    .submit(doc)
+                    .map_err(|e| io::Error::other(e.to_string()))?;
+                outstanding.push_back(handle);
+            }
+            Mode::Try => {
+                // admission control: on Busy, make progress by
+                // settling the oldest job, then retry the same doc
+                let mut job = flap_serve::JobInput::from(doc);
+                loop {
+                    match pool.try_submit(job) {
+                        Ok(handle) => {
+                            outstanding.push_back(handle);
+                            break;
+                        }
+                        Err(SubmitError::Busy(back)) => {
+                            job = back;
+                            match outstanding.pop_front() {
+                                Some(h) => tally.settle(&def, h.wait()),
+                                None => std::thread::yield_now(),
+                            }
+                        }
+                        Err(e) => return Err(io::Error::other(e.to_string())),
+                    }
+                }
+            }
+            Mode::Stream => {
+                let mut stream = pool.open_stream();
+                for chunk in doc.chunks(STREAM_CHUNK) {
+                    let fed = stream
+                        .feed(chunk.to_vec())
+                        .map_err(|e| io::Error::other(e.to_string()))?
+                        .wait();
+                    if let Err(e) = fed {
+                        tally.settle(&def, Err(e));
+                        break;
+                    }
+                }
+                if !stream.is_finished() {
+                    let done = stream
+                        .finish()
+                        .map_err(|e| io::Error::other(e.to_string()))?
+                        .wait();
+                    tally.settle(
+                        &def,
+                        done.map(|status| status.into_value().expect("finish yields a value")),
+                    );
+                }
+            }
+        }
+    }
+    for handle in outstanding {
+        tally.settle(&def, handle.wait());
+    }
+
+    let snapshot = pool.metrics().snapshot();
+    pool.shutdown();
+
+    println!(
+        "RESULT grammar={} mode={} docs={} ok={} parse_errors={} panicked={} rejected={} sum={}",
+        def.name,
+        match opts.mode {
+            Mode::Block => "block",
+            Mode::Try => "try",
+            Mode::Stream => "stream",
+        },
+        tally.docs,
+        tally.ok,
+        tally.parse_errors,
+        tally.panicked,
+        snapshot.rejected,
+        tally.sum,
+    );
+    print!("{snapshot}");
+    println!();
+
+    if tally.panicked > 0 || snapshot.workers_replaced > 0 {
+        eprintln!("flap-serve: panicking jobs observed");
+        return Ok(ExitCode::from(2));
+    }
+    if opts.check && tally.sum != expected_sum {
+        eprintln!(
+            "flap-serve: sum mismatch: pool {} vs reference {}",
+            tally.sum, expected_sum
+        );
+        return Ok(ExitCode::from(3));
+    }
+    if opts.expect_rejections && snapshot.rejected == 0 {
+        eprintln!("flap-serve: expected backpressure rejections, saw none");
+        return Ok(ExitCode::from(4));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+#[derive(Default)]
+struct Tally {
+    docs: u64,
+    ok: u64,
+    parse_errors: u64,
+    panicked: u64,
+    sum: i64,
+}
+
+impl Tally {
+    fn settle(&mut self, def: &GrammarDef<i64>, result: Result<i64, JobError>) {
+        self.docs += 1;
+        match result {
+            Ok(v) => {
+                self.ok += 1;
+                self.sum += (def.finish)(v);
+            }
+            Err(JobError::Parse(_)) => self.parse_errors += 1,
+            Err(JobError::Panicked(_)) | Err(JobError::Shutdown) => self.panicked += 1,
+        }
+    }
+}
+
+fn parse_num(s: &str) -> io::Result<usize> {
+    s.parse::<usize>()
+        .map_err(|e| io::Error::other(e.to_string()))
+}
+
+fn _assert_pool_is_send(p: ParsePool<i64>) -> impl Send {
+    p
+}

@@ -6,6 +6,11 @@
 //! The global allocator is wrapped in a counter that tracks
 //! allocations *on the current thread only*, so the audit is immune
 //! to the test harness's other threads.
+//!
+//! The pooled serving path (`flap::serve`) runs its hot loop on
+//! worker threads, which a thread-local counter cannot observe; its
+//! steady-state audit lives in `alloc_pool.rs`, a single-test binary
+//! with a process-global counter.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;

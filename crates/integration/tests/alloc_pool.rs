@@ -1,0 +1,103 @@
+//! Steady-state allocation audit for the pooled serving path: after
+//! warm-up, a submit → parse → wait round trip through a
+//! `flap::serve::ParsePool` must not allocate — not on the submitting
+//! thread and not on the worker.
+//!
+//! Unlike `alloc.rs`, whose counter is thread-local (the parse runs on
+//! the calling thread), the pooled hot loop runs on pool worker
+//! threads, so this audit counts allocations *globally*. A global
+//! counter cannot tell audited work from concurrent test-harness
+//! work, which is why this file holds exactly one test in its own
+//! test binary: integration test binaries run serially, so during the
+//! audited window the only live threads are this test and the pool's
+//! single worker.
+//!
+//! The allocation-free round trip requires each piece to cooperate:
+//! `JobInput::Shared` submissions clone an `Arc`, not bytes;
+//! `submit_into` re-arms an existing completion slot instead of
+//! allocating one; the bounded queue's `VecDeque` is pre-grown to its
+//! capacity; metrics are plain atomics; and the worker's reused
+//! session has the workload's high-water mark from warm-up.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use flap::serve::PoolConfig;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn pooled_steady_state_does_not_allocate() {
+    let def = flap_grammars::sexp::def();
+    let parser = def.flap_parser();
+    // one worker: every job lands in the same session, so warm-up
+    // deterministically grows the only session the audit will use
+    let pool = parser.serve(PoolConfig::default().workers(1).queue_capacity(4));
+    let input: Arc<[u8]> = Arc::from((def.generate)(11, 16 * 1024).as_slice());
+    let expected = parser.parse(&input).expect("generated input parses");
+
+    // Warm-up: allocate the handle's slot once, grow the worker's
+    // session stacks to this workload's high-water mark, and settle
+    // lazy runtime structures (thread-locals, futexes).
+    let mut handle = pool.submit(input.clone()).expect("pool accepts");
+    assert_eq!(
+        handle.wait_timeout(Duration::from_secs(60)),
+        Some(Ok(expected))
+    );
+    for _ in 0..3 {
+        pool.submit_into(input.clone(), &handle)
+            .expect("recycled submit");
+        assert_eq!(
+            handle.wait_timeout(Duration::from_secs(60)),
+            Some(Ok(expected))
+        );
+    }
+
+    let before = ALLOCS.load(Ordering::SeqCst);
+    let mut ok = true;
+    for _ in 0..50 {
+        pool.submit_into(input.clone(), &handle)
+            .expect("recycled submit");
+        ok &= handle.wait_timeout(Duration::from_secs(60)) == Some(Ok(expected));
+    }
+    let n = ALLOCS.load(Ordering::SeqCst) - before;
+    assert!(ok, "pooled parses must stay correct while audited");
+    assert_eq!(
+        n, 0,
+        "pooled steady state must not allocate anywhere in the process \
+         ({n} allocations in 50 submit/wait round trips)"
+    );
+
+    // sanity check on the audit itself: a plain submit allocates a
+    // fresh completion slot, and the global counter must see it
+    let before = ALLOCS.load(Ordering::SeqCst);
+    let h = pool.submit(input.clone()).expect("pool accepts");
+    assert_eq!(h.wait(), Ok(expected));
+    assert!(
+        ALLOCS.load(Ordering::SeqCst) > before,
+        "fresh-slot submissions should show up in the audit"
+    );
+}
