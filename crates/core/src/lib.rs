@@ -165,9 +165,12 @@ pub mod typed;
 
 pub use flap_cfe::{node_count, type_check, Cfe, Ty, TypeError, VarId};
 pub use flap_fuse::FusedParseError as ParseError;
-pub use flap_fuse::{ByteSource, Expected, IterSource, ReadSource, SliceChunks, Step, StreamError};
+pub use flap_fuse::{
+    ByteSource, Expected, IncrementalConfig, IterSource, ReadSource, ReuseStats, SliceChunks, Step,
+    StreamError,
+};
 pub use flap_lex::{LexBuildError, Lexer, LexerBuilder, Token, TokenSet};
-pub use flap_staged::{CompileTimes, ParseSession, SizeReport, StreamParse};
+pub use flap_staged::{CompileTimes, IncrementalSession, ParseSession, SizeReport, StreamParse};
 pub use parser::{CompileError, Parser};
 
 // The pipeline crates, for users who need the intermediate stages.

@@ -7,10 +7,14 @@ use std::sync::Arc;
 
 use flap_cfe::{Cfe, TypeError};
 use flap_dgnf::{DgnfError, Grammar, NormalizeError};
-use flap_fuse::{ByteSource, FuseError, FusedGrammar, FusedParseError, ReadSource, StreamError};
+use flap_fuse::{
+    ByteSource, FuseError, FusedGrammar, FusedParseError, IncrementalConfig, ReadSource,
+    StreamError,
+};
 use flap_lex::Lexer;
 use flap_staged::{
-    measure_pipeline, CompileTimes, CompiledParser, ParseSession, SizeReport, StreamParse,
+    measure_pipeline, CompileTimes, CompiledParser, IncrementalSession, ParseSession, SizeReport,
+    StreamParse,
 };
 
 /// Everything that can go wrong between a grammar definition and a
@@ -218,6 +222,80 @@ impl<V: 'static> Parser<V> {
     /// As for [`Parser::parse_source`].
     pub fn parse_reader(&self, reader: impl std::io::Read) -> Result<V, StreamError> {
         self.parse_source(&mut ReadSource::new(reader))
+    }
+
+    /// A fresh edit-aware session for incremental re-parsing, with
+    /// the default checkpoint density (see
+    /// [`Parser::incremental_with`] to tune it).
+    ///
+    /// Load the document with `splice(0..0, text)`, parse, edit with
+    /// further [`IncrementalSession::splice`] calls and re-parse:
+    /// each re-parse restarts from the last checkpoint at or before
+    /// the first edit rather than from byte 0, and
+    /// [`Parser::validate_incremental`] additionally stops early once
+    /// the automaton state re-converges with the previous run.
+    ///
+    /// ```
+    /// # use flap::{Cfe, LexerBuilder, Parser};
+    /// # let mut lx = LexerBuilder::new();
+    /// # let num = lx.token("num", "[0-9]+")?;
+    /// # lx.skip(" ")?;
+    /// # let lexer = lx.build()?;
+    /// # let grammar: Cfe<i64> = Cfe::fix(|more| {
+    /// #     Cfe::tok_with(num, |b| b.len() as i64).then(
+    /// #         Cfe::eps_with(|| 0).or(more.clone()), |a, b| a + b)
+    /// # });
+    /// let parser = Parser::compile(lexer, &grammar)?;
+    /// let mut inc = parser.incremental();
+    /// inc.splice(0..0, b"10 20 30");
+    /// assert_eq!(parser.parse_incremental(&mut inc)?, 6);
+    /// inc.splice(3..5, b"2000"); // "20" -> "2000"
+    /// assert_eq!(parser.parse_incremental(&mut inc)?, 8);
+    /// assert!(inc.stats().prefix_reused <= 3);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn incremental(&self) -> IncrementalSession<V> {
+        IncrementalSession::new()
+    }
+
+    /// As [`Parser::incremental`] with explicit checkpoint density.
+    pub fn incremental_with(&self, config: IncrementalConfig) -> IncrementalSession<V> {
+        IncrementalSession::with_config(config)
+    }
+
+    /// Re-parses an [`IncrementalSession`]'s document after edits,
+    /// reusing the longest unedited checkpointed prefix. The value —
+    /// or the error, including position and line/column — is
+    /// identical to a from-scratch [`Parser::parse`] of the current
+    /// document; [`IncrementalSession::stats`] reports how much work
+    /// was reused.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Parser::parse`].
+    pub fn parse_incremental(&self, inc: &mut IncrementalSession<V>) -> Result<V, FusedParseError>
+    where
+        V: Clone,
+    {
+        self.compiled.parse_incremental(inc)
+    }
+
+    /// Re-validates an [`IncrementalSession`]'s document after edits
+    /// without running semantic actions — the incremental analogue of
+    /// [`Parser::recognize`], and the entry point for the editor/LSP
+    /// diagnostics workload: beyond prefix reuse, the re-parse stops
+    /// as soon as its automaton state re-converges with the previous
+    /// run's recorded state past the edit, making the cost of a small
+    /// edit independent of document size.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Parser::recognize`].
+    pub fn validate_incremental(
+        &self,
+        inc: &mut IncrementalSession<V>,
+    ) -> Result<(), FusedParseError> {
+        self.compiled.validate_incremental(inc)
     }
 
     /// The Table 1 size columns for this grammar.

@@ -235,6 +235,12 @@ pub enum JobError {
     Panicked(String),
     /// The pool was shut down before this job could be accepted.
     Shutdown,
+    /// The result was already consumed by a successful
+    /// [`Handle::try_wait`] / [`Handle::wait_timeout`] before
+    /// [`Handle::wait`] ran — a caller-side protocol slip, reported
+    /// as an error rather than a panic so mixed poll/block drivers
+    /// stay total.
+    ResultTaken,
 }
 
 impl fmt::Display for JobError {
@@ -243,6 +249,7 @@ impl fmt::Display for JobError {
             JobError::Parse(e) => write!(f, "{e}"),
             JobError::Panicked(msg) => write!(f, "semantic action panicked: {msg}"),
             JobError::Shutdown => write!(f, "pool is shut down"),
+            JobError::ResultTaken => write!(f, "job result already taken"),
         }
     }
 }
@@ -429,19 +436,21 @@ impl<T> Handle<T> {
             st = guard;
         }
     }
+}
 
+impl<T> Handle<Result<T, JobError>> {
     /// Blocks until the job finishes and returns its result.
     ///
-    /// # Panics
-    ///
-    /// Panics if the result was already taken by a successful
-    /// [`Handle::try_wait`] / [`Handle::wait_timeout`].
-    pub fn wait(self) -> T {
+    /// If the result was already consumed by a successful
+    /// [`Handle::try_wait`] / [`Handle::wait_timeout`], returns
+    /// [`JobError::ResultTaken`] instead of blocking forever (or
+    /// panicking, as earlier versions did).
+    pub fn wait(self) -> Result<T, JobError> {
         let mut st = self.slot.state.lock().unwrap();
         loop {
             match std::mem::replace(&mut *st, SlotState::Taken) {
                 SlotState::Ready(v) => return v,
-                SlotState::Taken => panic!("job result already taken via try_wait"),
+                SlotState::Taken => return Err(JobError::ResultTaken),
                 SlotState::Pending => {
                     *st = SlotState::Pending;
                     st = self.slot.cv.wait(st).unwrap();

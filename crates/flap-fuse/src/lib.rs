@@ -51,14 +51,17 @@
 #![allow(clippy::result_large_err)]
 
 mod fuse;
+pub mod incremental;
 mod parse;
 pub mod stream;
 
 pub use fuse::{fuse, DisplayFused, FuseError, FusedGrammar, FusedNt, FusedProd, FusedToken};
+pub use incremental::{parse_incremental_fused, FusedIncremental, IncrementalConfig, ReuseStats};
 pub use parse::{
     line_col, parse_fused, parse_fused_with, stream_fused, FusedParseError, FusedSession,
     FusedStream,
 };
 pub use stream::{
-    ByteSource, Expected, IterSource, ReadSource, SliceChunks, Step, StreamError, StreamState,
+    ByteSource, Expected, IterSource, ReadSource, SliceChunks, Step, StreamError, StreamSnapshot,
+    StreamState,
 };

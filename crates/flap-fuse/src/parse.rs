@@ -188,7 +188,7 @@ impl std::error::Error for FusedParseError {}
 /// session that outlives any single call without refcount traffic on
 /// the per-token hot path (mirroring the staged VM's `Ctl::Reduce(u32)`).
 #[derive(Clone, Copy)]
-enum Ctl {
+pub(crate) enum Ctl {
     Nt(NtId),
     Reduce { nt: NtId, idx: u32 },
 }
@@ -196,7 +196,7 @@ enum Ctl {
 /// The three continuations of Fig 9 (`no`, `back`, `on n̄`),
 /// specialized to production indices.
 #[derive(Clone, Copy)]
-enum K {
+pub(crate) enum K {
     No,
     Back,
     On(usize),
@@ -205,7 +205,7 @@ enum K {
 /// Where a suspended fused parse resumes — the automaton position
 /// saved when a feed runs out of bytes.
 #[derive(Clone, Copy)]
-enum Resume {
+pub(crate) enum Resume {
     /// No stream is active (fresh session, or the last parse ended).
     Idle,
     /// At the top of the control loop, about to pop the next entry.
@@ -242,17 +242,17 @@ enum Resume {
 /// streaming parse. The unstaged counterpart of
 /// `flap_staged::ParseSession`.
 pub struct FusedSession<V> {
-    control: Vec<Ctl>,
-    values: Vec<V>,
+    pub(crate) control: Vec<Ctl>,
+    pub(crate) values: Vec<V>,
     /// Reused scratch buffer for the live derivative set.
-    live: Vec<(RegexId, usize)>,
+    pub(crate) live: Vec<(RegexId, usize)>,
     /// Suspension point of an in-progress streaming parse.
-    resume: Resume,
+    pub(crate) resume: Resume,
     /// `stream_id` of the grammar that created the suspension, so a
     /// suspended session cannot be resumed against different tables.
-    owner: u64,
+    pub(crate) owner: u64,
     /// Retained bytes + line/column accounting for streaming.
-    stream: StreamState,
+    pub(crate) stream: StreamState,
 }
 
 impl<V> FusedSession<V> {

@@ -450,6 +450,45 @@ impl StreamState {
         self.account(&chunk[..keep_from]);
         self.buf.extend_from_slice(&chunk[keep_from..]);
     }
+
+    /// Captures the position accounting as a compact [`StreamSnapshot`].
+    ///
+    /// The retained bytes themselves are *not* copied: a checkpointing
+    /// layer that owns the full document can reconstruct them from
+    /// `doc[offset() .. offset() + buf().len()]` at restore time, so a
+    /// snapshot costs three words regardless of tail length.
+    pub fn snapshot(&self) -> StreamSnapshot {
+        StreamSnapshot {
+            offset: self.offset,
+            lines_consumed: self.lines_consumed,
+            col_base: self.col_base,
+        }
+    }
+
+    /// Restores accounting from a snapshot and replaces the retained
+    /// buffer with `tail` (the bytes at global offsets
+    /// `[snap.offset, snap.offset + tail.len())` of the original
+    /// input). Inverse of [`StreamState::snapshot`].
+    pub fn restore(&mut self, snap: StreamSnapshot, tail: &[u8]) {
+        self.buf.clear();
+        self.buf.extend_from_slice(tail);
+        self.offset = snap.offset;
+        self.lines_consumed = snap.lines_consumed;
+        self.col_base = snap.col_base;
+    }
+}
+
+/// A compact copy of a [`StreamState`]'s position accounting — what a
+/// checkpoint must persist besides the automaton stacks. The retained
+/// token tail is deliberately excluded (see [`StreamState::snapshot`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StreamSnapshot {
+    /// Global byte offset of the first retained byte.
+    pub offset: usize,
+    /// Newlines among the consumed bytes `[0, offset)`.
+    pub lines_consumed: usize,
+    /// Global offset one past the last consumed `\n` (0 if none).
+    pub col_base: usize,
 }
 
 #[cfg(test)]

@@ -300,7 +300,9 @@ impl Tally {
                 self.sum += (def.finish)(v);
             }
             Err(JobError::Parse(_)) => self.parse_errors += 1,
-            Err(JobError::Panicked(_)) | Err(JobError::Shutdown) => self.panicked += 1,
+            Err(JobError::Panicked(_)) | Err(JobError::Shutdown) | Err(JobError::ResultTaken) => {
+                self.panicked += 1
+            }
         }
     }
 }

@@ -98,13 +98,18 @@
 
 pub mod codegen;
 mod compile;
+mod incremental;
 mod metrics;
 mod vm;
 
 pub use compile::{CompiledParser, State, StopAction};
+pub use incremental::IncrementalSession;
 pub use metrics::{measure_pipeline, CompileTimes, SizeReport, TableFootprint};
 pub use vm::{ParseSession, StreamParse};
 
-// The streaming vocabulary shared with `flap-fuse`, re-exported so
-// staged users need only this crate.
-pub use flap_fuse::{ByteSource, Expected, IterSource, ReadSource, SliceChunks, Step, StreamError};
+// The streaming and incremental vocabulary shared with `flap-fuse`,
+// re-exported so staged users need only this crate.
+pub use flap_fuse::{
+    ByteSource, Expected, IncrementalConfig, IterSource, ReadSource, ReuseStats, SliceChunks, Step,
+    StreamError,
+};

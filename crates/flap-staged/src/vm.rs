@@ -60,7 +60,7 @@ use crate::compile::{decode_stop, CompiledParser, CompiledProd, StopAction, STOP
 
 /// Control-stack entry: parse a nonterminal, or run a production's
 /// reduce.
-#[derive(Clone, Copy)]
+#[derive(Clone, Copy, PartialEq, Eq)]
 pub(crate) enum Ctl {
     Nt(u32),
     Reduce(u32),
@@ -68,8 +68,12 @@ pub(crate) enum Ctl {
 
 /// Where a suspended parse resumes — the automaton position saved
 /// when a feed runs out of bytes.
-#[derive(Clone, Copy)]
-enum Resume {
+///
+/// `PartialEq` lets the incremental layer detect *state convergence*:
+/// two suspended parses with equal `(control, resume)` at the same
+/// global offset behave identically on all remaining input.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Resume {
     /// No stream is active (fresh session, or the last parse ended).
     Idle,
     /// At the top of the control loop, about to pop the next entry.
@@ -95,7 +99,7 @@ enum Resume {
 /// What one run of the stepper produced. Positions are relative to
 /// the byte slice the stepper was given; wrappers translate them to
 /// global stream offsets and line/columns.
-enum Flow {
+pub(crate) enum Flow {
     /// Out of bytes before end of input (only when `last == false`):
     /// everything before `keep_from` is fully consumed; the caller
     /// must retain the rest (the in-progress token's tail).
@@ -144,12 +148,12 @@ pub struct ParseSession<V> {
     pub(crate) control: Vec<Ctl>,
     pub(crate) values: Vec<V>,
     /// Suspension point of an in-progress streaming parse.
-    resume: Resume,
+    pub(crate) resume: Resume,
     /// `stream_id` of the parser that created the suspension, so a
     /// suspended session cannot be resumed against different tables.
-    owner: u64,
+    pub(crate) owner: u64,
     /// Retained bytes + line/column accounting for streaming.
-    stream: StreamState,
+    pub(crate) stream: StreamState,
 }
 
 impl<V> ParseSession<V> {
@@ -197,7 +201,7 @@ impl<V> ParseSession<V> {
 
     /// Starts a fresh parse of `start_nt` in this session, owned by
     /// the parser with streaming id `owner`.
-    fn begin(&mut self, start_nt: u32, owner: u64) {
+    pub(crate) fn begin(&mut self, start_nt: u32, owner: u64) {
         self.reset();
         self.control.push(Ctl::Nt(start_nt));
         self.resume = Resume::Control;
@@ -219,7 +223,7 @@ impl<V> CompiledParser<V> {
     /// (`last == false`), finishes, or fails. With `ACTIONS == false`
     /// semantic actions (and the value stack) are skipped entirely,
     /// which is what [`CompiledParser::recognize`] measures.
-    fn engine<const ACTIONS: bool>(
+    pub(crate) fn engine<const ACTIONS: bool>(
         &self,
         control: &mut Vec<Ctl>,
         values: &mut Vec<V>,
@@ -597,7 +601,7 @@ impl<V> CompiledParser<V> {
     /// Builds the `NoMatch` error for a failure in `state`, cloning
     /// the state's precomputed expected set (inline `Arc`s — no
     /// allocation).
-    fn no_match(
+    pub(crate) fn no_match(
         &self,
         pos: usize,
         line: usize,

@@ -322,3 +322,28 @@ fn wait_timeout_times_out_then_delivers() {
     // the result was taken: further waits observe nothing
     assert_eq!(h.wait_timeout(Duration::from_millis(1)), None);
 }
+
+#[test]
+fn wait_after_take_reports_result_taken_instead_of_panicking() {
+    let (parser, pool) = trapdoor_pool(PoolConfig::default().workers(1));
+    let expected = parser.parse(b"ok done").unwrap();
+
+    let mut h = pool.submit(&b"ok done"[..]).unwrap();
+    // Poll until the result lands, consuming it.
+    loop {
+        match h.try_wait() {
+            Some(r) => {
+                assert_eq!(r, Ok(expected));
+                break;
+            }
+            None => std::thread::yield_now(),
+        }
+    }
+    // PR 4 regression: this used to panic ("job result already taken").
+    assert_eq!(h.wait(), Err(JobError::ResultTaken));
+
+    // Same protocol slip via wait_timeout.
+    let mut h = pool.submit(&b"ok done"[..]).unwrap();
+    assert_eq!(h.wait_timeout(Duration::from_secs(30)), Some(Ok(expected)));
+    assert_eq!(h.wait(), Err(JobError::ResultTaken));
+}
