@@ -159,6 +159,7 @@
 // deliberate tradeoff, constructed once per failed parse.
 #![allow(clippy::result_large_err)]
 
+pub mod obs;
 mod parser;
 pub mod serve;
 pub mod typed;

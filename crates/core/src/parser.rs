@@ -141,6 +141,23 @@ impl<V: 'static> Parser<V> {
         self.compiled.parse_with(session, input)
     }
 
+    /// As [`Parser::parse_with`], with an
+    /// [`Observer`](crate::obs::Observer) receiving the parse's
+    /// events — see [`crate::obs`] for the hook vocabulary and the
+    /// zero-overhead invariant.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Parser::parse`].
+    pub fn parse_with_obs<O: crate::obs::Observer>(
+        &self,
+        session: &mut ParseSession<V>,
+        input: &[u8],
+        obs: &mut O,
+    ) -> Result<V, FusedParseError> {
+        self.compiled.parse_with_obs(session, input, obs)
+    }
+
     /// A fresh session for [`Parser::parse_with`] — create one per
     /// worker thread and reuse it.
     pub fn session(&self) -> ParseSession<V> {

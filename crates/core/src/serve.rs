@@ -90,6 +90,8 @@ use std::time::{Duration, Instant};
 use flap_fuse::{FusedParseError, Step};
 use flap_staged::{CompiledParser, ParseSession};
 
+use crate::obs::TraceRecorder;
+
 mod metrics;
 
 pub use metrics::{LatencyHistogram, Metrics, MetricsSnapshot, LATENCY_BUCKETS};
@@ -103,16 +105,18 @@ pub struct PoolConfig {
     workers: usize,
     queue_capacity: usize,
     label: String,
+    trace: Option<Arc<TraceRecorder>>,
 }
 
 impl Default for PoolConfig {
     /// Auto-sized: one worker per available core, queue capacity
-    /// twice the worker count, label `"pool"`.
+    /// twice the worker count, label `"pool"`, tracing off.
     fn default() -> Self {
         PoolConfig {
             workers: 0,
             queue_capacity: 0,
             label: "pool".to_string(),
+            trace: None,
         }
     }
 }
@@ -139,6 +143,18 @@ impl PoolConfig {
     /// name, so a multi-pool server gets a per-grammar breakdown.
     pub fn label(mut self, label: impl Into<String>) -> Self {
         self.label = label.into();
+        self
+    }
+
+    /// Attaches a span recorder: every job the pool runs emits a
+    /// queue-wait span (submission to dequeue) and an execution span
+    /// (dequeue to completion) on its worker's lane. Write the
+    /// collected spans out with
+    /// [`TraceRecorder::write_chrome_json`]. Off by default; the
+    /// untraced path does no timing work beyond the existing latency
+    /// metric.
+    pub fn trace(mut self, recorder: Arc<TraceRecorder>) -> Self {
+        self.trace = Some(recorder);
         self
     }
 
@@ -513,7 +529,8 @@ struct Shared<V> {
     not_empty: Condvar,
     not_full: Condvar,
     capacity: usize,
-    metrics: Metrics,
+    metrics: Arc<Metrics>,
+    trace: Option<Arc<TraceRecorder>>,
     label: String,
     /// Every live worker thread, appended by replacements; drained
     /// (and re-checked) by shutdown.
@@ -579,7 +596,8 @@ impl<V: Send + 'static> ParsePool<V> {
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             capacity,
-            metrics: Metrics::new(&config.label, workers, capacity),
+            metrics: Arc::new(Metrics::new(&config.label, workers, capacity)),
+            trace: config.trace,
             label: config.label,
             threads: Mutex::new(Vec::with_capacity(workers)),
         });
@@ -755,6 +773,13 @@ impl<V: Send + 'static> ParsePool<V> {
     /// [`snapshot()`](Metrics::snapshot) for a reportable copy.
     pub fn metrics(&self) -> &Metrics {
         &self.shared.metrics
+    }
+
+    /// A shared handle to the live metrics, for exporters that
+    /// outlive a borrow — e.g.
+    /// [`MetricsEmitter::start`](crate::obs::MetricsEmitter::start).
+    pub fn metrics_arc(&self) -> Arc<Metrics> {
+        Arc::clone(&self.shared.metrics)
     }
 
     /// Configured worker count.
@@ -950,7 +975,7 @@ fn worker_loop<V: Send + 'static>(shared: Arc<Shared<V>>, ix: usize) {
         };
         let Some(job) = job else { return };
         shared.not_full.notify_one();
-        match run_job(&shared, &mut session, job) {
+        match run_job(&shared, &mut session, job, ix) {
             AfterJob::Continue => {}
             AfterJob::Replace => {
                 match thread::Builder::new()
@@ -977,11 +1002,32 @@ fn worker_loop<V: Send + 'static>(shared: Arc<Shared<V>>, ix: usize) {
     }
 }
 
+/// Emits the queue-wait and execution spans for one finished job on
+/// worker lane `ix`. `run_start` is `Some` exactly when the pool was
+/// configured with a [`TraceRecorder`]; the untraced path costs one
+/// `Option` branch per job.
+fn trace_job<V>(
+    shared: &Shared<V>,
+    ix: usize,
+    name: &'static str,
+    enqueued: Instant,
+    run_start: Option<Instant>,
+    bytes: u64,
+) {
+    if let (Some(t), Some(rs)) = (&shared.trace, run_start) {
+        let end = Instant::now();
+        t.span("queue-wait", ix as u32, enqueued, rs, 0);
+        t.span(name, ix as u32, rs, end, bytes);
+    }
+}
+
 fn run_job<V: Send + 'static>(
     shared: &Shared<V>,
     session: &mut ParseSession<V>,
     job: Job<V>,
+    ix: usize,
 ) -> AfterJob {
+    let run_start = shared.trace.as_ref().map(|_| Instant::now());
     match job {
         Job::Parse {
             input,
@@ -993,6 +1039,7 @@ fn run_job<V: Send + 'static>(
                 shared.parser.parse_with(session, input.as_bytes())
             }));
             let latency = enqueued.elapsed().as_micros() as u64;
+            trace_job(shared, ix, "parse", enqueued, run_start, bytes as u64);
             match result {
                 Ok(Ok(v)) => {
                     shared
@@ -1029,6 +1076,7 @@ fn run_job<V: Send + 'static>(
             enqueued,
         } => {
             let bytes = chunk.as_ref().map_or(0, |c| c.as_bytes().len());
+            let name = if chunk.is_some() { "feed" } else { "finish" };
             let taken = stream.session.lock().unwrap().take();
             let Some(mut stream_session) = taken else {
                 // defensive: unreachable while the `finished` gate
@@ -1053,6 +1101,7 @@ fn run_job<V: Send + 'static>(
                 None => shared.parser.stream(&mut stream_session).finish(),
             }));
             let latency = enqueued.elapsed().as_micros() as u64;
+            trace_job(shared, ix, name, enqueued, run_start, bytes as u64);
             match step {
                 Ok(step) => {
                     if !matches!(step, Step::NeedMore) {

@@ -177,6 +177,50 @@ impl MetricsSnapshot {
     pub fn render(&self) -> String {
         self.to_string()
     }
+
+    /// One compact JSON object (no trailing newline) with every
+    /// counter plus latency percentiles and raw buckets — the line
+    /// format emitted by
+    /// [`MetricsEmitter`](crate::obs::MetricsEmitter) and by
+    /// `flap-serve --stats-json`. Hand-rolled; no serializer
+    /// dependency.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(512);
+        s.push_str(&format!(
+            "{{\"label\":\"{}\",\"workers\":{},\"queue_capacity\":{},\"submitted\":{},\
+             \"completed\":{},\"parse_errors\":{},\"panicked\":{},\"rejected\":{},\
+             \"workers_replaced\":{},\"bytes_parsed\":{},\"queue_depth\":{},\
+             \"queue_high_water\":{}",
+            crate::obs::escape(&self.label),
+            self.workers,
+            self.queue_capacity,
+            self.submitted,
+            self.completed,
+            self.parse_errors,
+            self.panicked,
+            self.rejected,
+            self.workers_replaced,
+            self.bytes_parsed,
+            self.queue_depth,
+            self.queue_high_water,
+        ));
+        let h = &self.latency_us;
+        s.push_str(&format!(
+            ",\"latency\":{{\"count\":{},\"p50_us\":{},\"p90_us\":{},\"p99_us\":{},\"buckets\":[",
+            h.count(),
+            h.p50_us(),
+            h.p90_us(),
+            h.p99_us(),
+        ));
+        for (i, b) in h.buckets.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&b.to_string());
+        }
+        s.push_str("]}}");
+        s
+    }
 }
 
 impl fmt::Display for MetricsSnapshot {
@@ -227,6 +271,22 @@ impl LatencyHistogram {
     /// Total number of recorded samples.
     pub fn count(&self) -> u64 {
         self.buckets.iter().sum()
+    }
+
+    /// Upper bound (µs) on the median latency; see
+    /// [`LatencyHistogram::quantile_upper_us`].
+    pub fn p50_us(&self) -> u64 {
+        self.quantile_upper_us(0.50)
+    }
+
+    /// Upper bound (µs) on the 90th-percentile latency.
+    pub fn p90_us(&self) -> u64 {
+        self.quantile_upper_us(0.90)
+    }
+
+    /// Upper bound (µs) on the 99th-percentile latency.
+    pub fn p99_us(&self) -> u64 {
+        self.quantile_upper_us(0.99)
     }
 
     /// An upper bound (in µs) on the `q`-quantile latency: the
@@ -294,6 +354,74 @@ mod tests {
         // 10_000µs has 14 bits -> bucket 14, upper bound 16384µs
         assert_eq!(s.latency_us.quantile_upper_us(0.99), 16384);
         assert!(s.render().contains("p50 < 128µs"), "{}", s.render());
+    }
+
+    #[test]
+    fn bucket_boundaries_at_exact_powers_of_two() {
+        // bucket i holds samples with < 2^i µs: an exact power 2^k
+        // has k+1 significant bits, so it lands in bucket k+1 and its
+        // quantile upper bound is 2^(k+1), never its own value
+        for k in 0..10u32 {
+            let us = 1u64 << k;
+            assert_eq!(bucket_of(us), (k + 1) as usize, "2^{k}");
+            let m = Metrics::new("b", 1, 1);
+            m.job_finished(Outcome::Completed, 0, us);
+            assert_eq!(m.snapshot().latency_us.p50_us(), 1u64 << (k + 1), "2^{k}");
+        }
+        // one below the power stays in the lower bucket
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+    }
+
+    #[test]
+    fn zero_latency_lands_in_bucket_zero() {
+        assert_eq!(bucket_of(0), 0);
+        let m = Metrics::new("z", 1, 1);
+        m.job_finished(Outcome::Completed, 0, 0);
+        let h = m.snapshot().latency_us;
+        assert_eq!(h.buckets[0], 1);
+        // the 0-bucket's exclusive upper edge is 2^0 = 1µs
+        assert_eq!(h.p50_us(), 1);
+        assert_eq!(h.p99_us(), 1);
+    }
+
+    #[test]
+    fn huge_latencies_saturate_the_last_bucket() {
+        let m = Metrics::new("s", 1, 1);
+        for us in [u64::MAX, u64::MAX / 2, 1u64 << 40] {
+            m.job_finished(Outcome::Completed, 0, us);
+        }
+        let h = m.snapshot().latency_us;
+        assert_eq!(h.buckets[LATENCY_BUCKETS - 1], 3);
+        assert_eq!(h.p50_us(), 1u64 << (LATENCY_BUCKETS - 1));
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let h = Metrics::new("e", 1, 1).snapshot().latency_us;
+        assert_eq!(h.count(), 0);
+        assert_eq!((h.p50_us(), h.p90_us(), h.p99_us()), (0, 0, 0));
+    }
+
+    #[test]
+    fn snapshot_json_is_complete_and_escaped() {
+        let m = Metrics::new("a\"b", 2, 4);
+        m.job_submitted();
+        m.job_finished(Outcome::Completed, 7, 100);
+        let json = m.snapshot().to_json();
+        assert!(json.starts_with("{\"label\":\"a\\\"b\""), "{json}");
+        for needle in [
+            "\"workers\":2",
+            "\"queue_capacity\":4",
+            "\"submitted\":1",
+            "\"completed\":1",
+            "\"bytes_parsed\":7",
+            "\"p50_us\":128",
+            "\"buckets\":[0,",
+        ] {
+            assert!(json.contains(needle), "missing {needle:?} in {json}");
+        }
+        assert!(json.ends_with("]}}"), "{json}");
     }
 
     #[test]

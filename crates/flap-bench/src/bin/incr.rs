@@ -57,6 +57,9 @@ struct ValidateRow {
     suffix_reused: usize,
     checkpoints: usize,
     retained_bytes: usize,
+    /// The final re-parse's full reuse accounting, shown (via its
+    /// `Display`) in the human table.
+    stats: flap::ReuseStats,
 }
 
 struct ValueRow {
@@ -165,6 +168,7 @@ fn bench_one(def: &GrammarDef<i64>, doc_bytes: usize, iters: usize) -> GrammarRe
             suffix_reused: st.suffix_reused,
             checkpoints: st.checkpoints,
             retained_bytes: st.retained_bytes,
+            stats: st,
         });
 
         // -- value: 1-byte edits at p10/p50/p90, prefix reuse only --
@@ -340,6 +344,7 @@ fn print_table(results: &[GrammarResult], doc_mb: f64, iters: usize) {
                 v.checkpoints,
                 v.retained_bytes
             );
+            println!("               {}", v.stats);
         }
         println!("  {:<12}{:>16}{:>16}{:>16}", "value", "p10", "p50", "p90");
         for v in &r.value {

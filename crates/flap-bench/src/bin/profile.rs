@@ -1,7 +1,17 @@
 //! Quick component-cost profiler used during development (not a
 //! paper artifact): separates scan cost from action cost.
+//!
+//! `--profile` switches to the observer-based report: one
+//! [`ParseProfiler`] per grammar, rendered with the compiled
+//! parser's label tables — bytes per phase (skip vs lex), the
+//! token-class histogram, reductions grouped by nonterminal and the
+//! hottest automaton rows, plus observed-vs-noop throughput so the
+//! cost of *enabled* profiling is visible next to the zero-overhead
+//! disabled path.
 
 use std::time::Instant;
+
+use flap::obs::ParseProfiler;
 
 fn time<F: FnMut()>(label: &str, bytes: usize, mut f: F) {
     // warmup
@@ -15,7 +25,117 @@ fn time<F: FnMut()>(label: &str, bytes: usize, mut f: F) {
     println!("{:<28} {:>8.1} MB/s", label, bytes as f64 / dt / 1e6);
 }
 
+/// Mean seconds per run of `f` (1 warmup + `n` timed).
+fn secs_per_run<F: FnMut()>(n: u32, mut f: F) -> f64 {
+    f();
+    let t0 = Instant::now();
+    for _ in 0..n {
+        f();
+    }
+    t0.elapsed().as_secs_f64() / n as f64
+}
+
+/// The `--profile` report for one grammar: parse a generated
+/// document once under a [`ParseProfiler`] and render the counters
+/// through the compiled parser's label tables.
+fn profile_grammar(def: flap_grammars::GrammarDef<i64>, doc_bytes: usize) {
+    let input = (def.generate)(42, doc_bytes);
+    let parser = flap::Parser::compile((def.lexer)(), &(def.cfe)()).unwrap();
+    let compiled = parser.compiled();
+    let mut session = parser.session();
+    let mut prof = ParseProfiler::new();
+    let traced = secs_per_run(5, || {
+        prof.reset();
+        parser
+            .parse_with_obs(&mut session, &input, &mut prof)
+            .unwrap();
+    });
+    let noop = secs_per_run(5, || {
+        parser.parse_with(&mut session, &input).unwrap();
+    });
+
+    println!("== {} profile ({} B) ==", def.name, input.len());
+    let total = (prof.bytes_skipped + prof.bytes_lexed).max(1);
+    println!(
+        "phases      lex {} B ({:.1}%) in tokens, skip {} B ({:.1}%) between them",
+        prof.bytes_lexed,
+        100.0 * prof.bytes_lexed as f64 / total as f64,
+        prof.bytes_skipped,
+        100.0 * prof.bytes_skipped as f64 / total as f64,
+    );
+    println!(
+        "time        {:.2} ms profiled ({:.1} MB/s), {:.2} ms unobserved ({:.1} MB/s)",
+        traced * 1e3,
+        input.len() as f64 / traced / 1e6,
+        noop * 1e3,
+        input.len() as f64 / noop / 1e6,
+    );
+
+    println!("tokens      {} committed", prof.tokens());
+    let mut classes: Vec<(usize, u64)> = prof
+        .tokens_by_class
+        .iter()
+        .enumerate()
+        .filter(|(_, &n)| n > 0)
+        .map(|(i, &n)| (i, n))
+        .collect();
+    classes.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    for (class, n) in classes {
+        let label = compiled.prod_label(class as u32).unwrap_or("<skip>");
+        println!("  {n:>10}  {label}");
+    }
+
+    println!(
+        "reductions  {} ran, {} ε",
+        prof.reduction_count(),
+        prof.eps_reductions
+    );
+    // group rule counters by owning nonterminal
+    let mut by_nt: Vec<(u32, u64)> = Vec::new();
+    for (rule, &n) in prof.reductions.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        let nt = compiled.prod_nt(rule as u32).unwrap_or(u32::MAX);
+        match by_nt.iter_mut().find(|(o, _)| *o == nt) {
+            Some((_, c)) => *c += n,
+            None => by_nt.push((nt, n)),
+        }
+    }
+    by_nt.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    for (nt, n) in by_nt {
+        let rules: Vec<String> = prof
+            .reductions
+            .iter()
+            .enumerate()
+            .filter(|&(rule, &c)| c > 0 && compiled.prod_nt(rule as u32) == Some(nt))
+            .map(|(rule, _)| {
+                compiled
+                    .prod_label(rule as u32)
+                    .unwrap_or("<skip>")
+                    .to_string()
+            })
+            .collect();
+        println!("  {n:>10}  nt{nt} ({})", rules.join(", "));
+    }
+
+    println!(
+        "rows        {} of {} states dispatched at token starts",
+        prof.hottest_rows(usize::MAX).len(),
+        compiled.state_count(),
+    );
+    for (row, hits) in prof.hottest_rows(5) {
+        println!("  {hits:>10}  state {}", compiled.row_state(row));
+    }
+    println!();
+}
+
 fn main() {
+    if std::env::args().skip(1).any(|a| a == "--profile") {
+        profile_grammar(flap_grammars::json::def(), 2_000_000);
+        profile_grammar(flap_grammars::sexp::def(), 2_000_000);
+        return;
+    }
     for which in ["json", "sexp"] {
         println!("== {which} ==");
         let (def, input) = match which {

@@ -33,6 +33,7 @@
 //! recorded positions (byte offsets *and* line/column accounting)
 //! into post-edit coordinates.
 
+use std::fmt;
 use std::mem::size_of;
 use std::ops::Range;
 
@@ -92,6 +93,31 @@ pub struct ReuseStats {
     pub retained_bytes: usize,
     /// Whether the re-parse ended early via suffix convergence.
     pub converged: bool,
+}
+
+/// Human-readable one-line summary, e.g.
+/// `reused 93.7% of 1048576 B (prefix 65536, suffix 917504, parsed 65536), 15 ckpts / 4 KiB retained, converged`.
+impl fmt::Display for ReuseStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let reused = self.prefix_reused + self.suffix_reused;
+        let pct = if self.doc_len == 0 {
+            0.0
+        } else {
+            100.0 * reused as f64 / self.doc_len as f64
+        };
+        write!(
+            f,
+            "reused {:.1}% of {} B (prefix {}, suffix {}, parsed {}), {} ckpts / {} KiB retained{}",
+            pct,
+            self.doc_len,
+            self.prefix_reused,
+            self.suffix_reused,
+            self.parsed,
+            self.checkpoints,
+            self.retained_bytes / 1024,
+            if self.converged { ", converged" } else { "" },
+        )
+    }
 }
 
 /// One recorded suspension of a streaming stepper: engine-specific
@@ -533,5 +559,34 @@ pub fn parse_incremental_fused<V: Clone>(
             inc.log.complete(Err(e.clone()));
             Err(e)
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reuse_stats_display_is_readable() {
+        let s = ReuseStats {
+            doc_len: 1000,
+            prefix_reused: 600,
+            suffix_reused: 150,
+            parsed: 250,
+            checkpoints: 3,
+            retained_bytes: 4096,
+            converged: true,
+        };
+        let text = s.to_string();
+        assert!(text.contains("reused 75.0% of 1000 B"), "{text}");
+        assert!(text.contains("prefix 600"), "{text}");
+        assert!(text.contains("suffix 150"), "{text}");
+        assert!(text.contains("3 ckpts / 4 KiB"), "{text}");
+        assert!(text.ends_with("converged"), "{text}");
+
+        // the empty document must not divide by zero
+        let empty = ReuseStats::default().to_string();
+        assert!(empty.contains("reused 0.0% of 0 B"), "{empty}");
+        assert!(!empty.contains("converged"), "{empty}");
     }
 }

@@ -52,14 +52,16 @@
 
 mod fuse;
 pub mod incremental;
+pub mod obs;
 mod parse;
 pub mod stream;
 
 pub use fuse::{fuse, DisplayFused, FuseError, FusedGrammar, FusedNt, FusedProd, FusedToken};
 pub use incremental::{parse_incremental_fused, FusedIncremental, IncrementalConfig, ReuseStats};
+pub use obs::{NoopObserver, Observer, ParseProfiler};
 pub use parse::{
-    line_col, parse_fused, parse_fused_with, stream_fused, FusedParseError, FusedSession,
-    FusedStream,
+    line_col, parse_fused, parse_fused_obs, parse_fused_with, stream_fused, FusedParseError,
+    FusedSession, FusedStream,
 };
 pub use stream::{
     ByteSource, Expected, IterSource, ReadSource, SliceChunks, Step, StreamError, StreamSnapshot,

@@ -39,6 +39,7 @@ use flap_dgnf::NtId;
 use flap_regex::{RegexArena, RegexId};
 
 use crate::fuse::{FusedGrammar, FusedProd};
+use crate::obs::{NoopObserver, Observer};
 use crate::stream::{ByteSource, Expected, Step, StreamError, StreamState};
 
 /// 1-based line and column of byte offset `pos` within `input`.
@@ -317,7 +318,14 @@ impl<V> Machine<'_, V> {
     /// hot-loop state lives in the session halves passed in, so a
     /// suspended run can continue on the next feed exactly where it
     /// stopped.
-    fn run(
+    ///
+    /// `obs` receives per-event hooks (token commits, skips,
+    /// reductions); monomorphized over [`NoopObserver`] the calls
+    /// vanish and this compiles to the unobserved stepper.
+    // The session halves are deliberately separate parameters: they
+    // must be borrowed disjointly from the caller's session struct.
+    #[allow(clippy::too_many_arguments)]
+    fn run<O: Observer>(
         &mut self,
         control: &mut Vec<Ctl>,
         values: &mut Vec<V>,
@@ -325,6 +333,7 @@ impl<V> Machine<'_, V> {
         resume: &mut Resume,
         input: &[u8],
         last: bool,
+        obs: &mut O,
     ) -> Flow {
         let mut pos = 0usize;
         if !matches!(
@@ -354,6 +363,7 @@ impl<V> Machine<'_, V> {
                                 .as_ref()
                                 .expect("Reduce entries address token productions");
                             tok.reduce.run(values);
+                            obs.reduce(nt.index() as u32);
                             continue 'outer;
                         }
                         Some(Ctl::Nt(n)) => {
@@ -415,6 +425,7 @@ impl<V> Machine<'_, V> {
                         let entry = self.fg.entry(nt);
                         let (_, eps) = entry.eps.as_ref().expect("Back implies an ε rule");
                         eps.run(values);
+                        obs.eps_reduce();
                         // consume nothing: pos stays at tok_start
                         pos = tok_start;
                     }
@@ -425,9 +436,11 @@ impl<V> Machine<'_, V> {
                             None => {
                                 // skip self-loop: retry the same
                                 // nonterminal after the skipped bytes
+                                obs.skipped(rs - tok_start);
                                 control.push(Ctl::Nt(nt));
                             }
                             Some(tok) => {
+                                obs.token(tok.token.index() as u32, rs - tok_start);
                                 values.push((tok.tok_action)(&input[tok_start..rs]));
                                 control.push(Ctl::Reduce {
                                     nt,
@@ -509,6 +522,7 @@ impl<V> Machine<'_, V> {
                     break;
                 }
                 // commit the lexeme; rescan lookahead bytes beyond it
+                obs.skipped(best);
                 tok_start += best;
                 i = tok_start;
                 row = 0;
@@ -560,6 +574,7 @@ impl<V> Machine<'_, V> {
                 break;
             }
             // commit the lexeme; rescan any lookahead bytes beyond it
+            obs.skipped(best);
             tok_start += best;
             i = tok_start;
             r = skip;
@@ -651,6 +666,25 @@ pub fn parse_fused_with<V>(
     session: &mut FusedSession<V>,
     input: &[u8],
 ) -> Result<V, FusedParseError> {
+    parse_fused_obs(fg, arena, skip, session, input, &mut NoopObserver)
+}
+
+/// As [`parse_fused_with`], with an [`Observer`] receiving the
+/// parse's events (token commits, skips, reductions — see
+/// [`crate::obs`]). The observed and unobserved paths run the same
+/// stepper, so results and errors are byte-identical.
+///
+/// # Errors
+///
+/// [`FusedParseError`] on mismatch or trailing input.
+pub fn parse_fused_obs<V, O: Observer>(
+    fg: &FusedGrammar<V>,
+    arena: &mut RegexArena,
+    skip: Option<RegexId>,
+    session: &mut FusedSession<V>,
+    input: &[u8],
+    obs: &mut O,
+) -> Result<V, FusedParseError> {
     session.reset();
     session.control.push(Ctl::Nt(fg.start()));
     session.resume = Resume::Control;
@@ -662,7 +696,7 @@ pub fn parse_fused_with<V>(
         ..
     } = session;
     let mut m = Machine { fg, arena, skip };
-    match m.run(control, values, live, resume, input, true) {
+    match m.run(control, values, live, resume, input, true, obs) {
         Flow::Done => {
             debug_assert_eq!(values.len(), 1, "parse must produce exactly one value");
             Ok(values.pop().expect("parse produced no value"))
@@ -765,17 +799,28 @@ impl<V> FusedStream<'_, V> {
     /// Panics if the stream already completed (returned `Done` or
     /// `Err`); start a new parse with [`stream_fused`] instead.
     pub fn feed(&mut self, chunk: &[u8]) -> Step<V> {
+        self.feed_obs(chunk, &mut NoopObserver)
+    }
+
+    /// As [`FusedStream::feed`], with an [`Observer`] receiving the
+    /// feed boundary and the chunk's parse events.
+    ///
+    /// # Panics
+    ///
+    /// As for [`FusedStream::feed`].
+    pub fn feed_obs<O: Observer>(&mut self, chunk: &[u8], obs: &mut O) -> Step<V> {
         assert!(
             !matches!(self.session.resume, Resume::Idle),
             "no active stream: the previous parse completed; call stream_fused again"
         );
+        obs.feed(chunk.len(), self.session.stream.buf().len());
         if self.session.stream.buf().is_empty() {
             // no token tail retained: scan the caller's chunk in
             // place and copy only what suspension must keep
-            self.step(Some(chunk), false)
+            self.step(Some(chunk), false, obs)
         } else {
             self.session.stream.push_chunk(chunk);
-            self.step(None, false)
+            self.step(None, false, obs)
         }
     }
 
@@ -785,12 +830,22 @@ impl<V> FusedStream<'_, V> {
     /// # Panics
     ///
     /// As for [`FusedStream::feed`].
-    pub fn finish(mut self) -> Step<V> {
+    pub fn finish(self) -> Step<V> {
+        self.finish_obs(&mut NoopObserver)
+    }
+
+    /// As [`FusedStream::finish`], with an [`Observer`] receiving the
+    /// final events.
+    ///
+    /// # Panics
+    ///
+    /// As for [`FusedStream::feed`].
+    pub fn finish_obs<O: Observer>(mut self, obs: &mut O) -> Step<V> {
         assert!(
             !matches!(self.session.resume, Resume::Idle),
             "no active stream: the previous parse completed; call stream_fused again"
         );
-        self.step(None, true)
+        self.step(None, true, obs)
     }
 
     /// Drains `source` through [`FusedStream::feed`] and then
@@ -819,7 +874,7 @@ impl<V> FusedStream<'_, V> {
     /// None`) or a caller's chunk scanned in place (fast path, buffer
     /// empty). Either way `bytes[0]` sits at the stream's global
     /// offset.
-    fn step(&mut self, chunk: Option<&[u8]>, last: bool) -> Step<V> {
+    fn step<O: Observer>(&mut self, chunk: Option<&[u8]>, last: bool, obs: &mut O) -> Step<V> {
         let FusedSession {
             control,
             values,
@@ -834,8 +889,8 @@ impl<V> FusedStream<'_, V> {
             skip: self.skip,
         };
         let flow = match chunk {
-            Some(c) => m.run(control, values, live, resume, c, last),
-            None => m.run(control, values, live, resume, stream.buf(), last),
+            Some(c) => m.run(control, values, live, resume, c, last, obs),
+            None => m.run(control, values, live, resume, stream.buf(), last, obs),
         };
         match flow {
             Flow::More { keep_from } => {

@@ -5,6 +5,8 @@
 //! flap-serve gen <grammar> <doc-bytes> <count> <out|-> [seed]
 //! flap-serve run <grammar> <file|-> [--workers N] [--queue N]
 //!                [--mode block|try|stream] [--check] [--expect-rejections]
+//!                [--trace-out <path>] [--stats-json <path>]
+//!                [--metrics-jsonl <path>]
 //! ```
 //!
 //! `gen` writes a firehose file: `<count>` generated documents of
@@ -17,12 +19,22 @@
 //! independent reference parser; `--expect-rejections` fails the run
 //! unless backpressure actually rejected something (used by CI with a
 //! tiny queue).
+//!
+//! Telemetry: `--trace-out` writes a Chrome trace-event JSON file of
+//! every pool job (queue-wait vs execution spans, one lane per
+//! worker — open in Perfetto or `chrome://tracing`); `--stats-json`
+//! dumps the final metrics snapshot as one JSON object on exit;
+//! `--metrics-jsonl` appends a periodic JSON-lines feed of metrics
+//! snapshots while the run is in flight.
 
 use std::collections::VecDeque;
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
+use flap::obs::{MetricsEmitter, TraceRecorder};
 use flap_grammars::GrammarDef;
 use flap_serve::frame::{write_frame, FrameReader};
 use flap_serve::{JobError, JobHandle, ParsePool, PoolConfig, SubmitError};
@@ -41,6 +53,8 @@ const USAGE: &str = "usage:
   flap-serve gen <grammar> <doc-bytes> <count> <out|-> [seed]
   flap-serve run <grammar> <file|-> [--workers N] [--queue N]
                  [--mode block|try|stream] [--check] [--expect-rejections]
+                 [--trace-out <path>] [--stats-json <path>]
+                 [--metrics-jsonl <path>]
 grammars: json, sexp, csv, pgn";
 
 fn main() -> ExitCode {
@@ -115,6 +129,9 @@ struct RunOpts {
     mode: Mode,
     check: bool,
     expect_rejections: bool,
+    trace_out: Option<String>,
+    stats_json: Option<String>,
+    metrics_jsonl: Option<String>,
 }
 
 /// Streaming jobs feed documents in chunks of this size.
@@ -136,6 +153,9 @@ fn run(args: &[String]) -> io::Result<ExitCode> {
         mode: Mode::Block,
         check: false,
         expect_rejections: false,
+        trace_out: None,
+        stats_json: None,
+        metrics_jsonl: None,
     };
     let mut it = flags.iter();
     while let Some(flag) = it.next() {
@@ -156,18 +176,35 @@ fn run(args: &[String]) -> io::Result<ExitCode> {
             }
             "--check" => opts.check = true,
             "--expect-rejections" => opts.expect_rejections = true,
+            "--trace-out" => opts.trace_out = Some(value("a path")?.clone()),
+            "--stats-json" => opts.stats_json = Some(value("a path")?.clone()),
+            "--metrics-jsonl" => opts.metrics_jsonl = Some(value("a path")?.clone()),
             other => return Err(io::Error::other(format!("unknown flag {other}"))),
         }
     }
 
     let def = grammar(name).ok_or_else(|| io::Error::other(format!("unknown grammar {name}")))?;
     let parser = def.flap_parser();
-    let pool = parser.serve(
-        PoolConfig::default()
-            .workers(opts.workers)
-            .queue_capacity(opts.queue)
-            .label(def.name),
-    );
+    let trace = opts
+        .trace_out
+        .as_ref()
+        .map(|_| Arc::new(TraceRecorder::new()));
+    let mut config = PoolConfig::default()
+        .workers(opts.workers)
+        .queue_capacity(opts.queue)
+        .label(def.name);
+    if let Some(t) = &trace {
+        config = config.trace(Arc::clone(t));
+    }
+    let pool = parser.serve(config);
+    let emitter = match &opts.metrics_jsonl {
+        Some(path) => Some(MetricsEmitter::start(
+            pool.metrics_arc(),
+            Duration::from_millis(500),
+            BufWriter::new(File::create(path)?),
+        )),
+        None => None,
+    };
 
     let source: Box<dyn Read> = match input.as_str() {
         "-" => Box::new(io::stdin().lock()),
@@ -245,6 +282,18 @@ fn run(args: &[String]) -> io::Result<ExitCode> {
 
     let snapshot = pool.metrics().snapshot();
     pool.shutdown();
+    if let Some(e) = emitter {
+        e.stop(); // final JSON line covers the whole run
+    }
+    if let (Some(t), Some(path)) = (&trace, &opts.trace_out) {
+        t.write_chrome_json(BufWriter::new(File::create(path)?))?;
+        eprintln!("flap-serve: {} trace spans -> {path}", t.len());
+    }
+    if let Some(path) = &opts.stats_json {
+        let mut f = BufWriter::new(File::create(path)?);
+        writeln!(f, "{}", snapshot.to_json())?;
+        f.flush()?;
+    }
 
     println!(
         "RESULT grammar={} mode={} docs={} ok={} parse_errors={} panicked={} rejected={} sum={}",

@@ -146,6 +146,14 @@ pub struct CompiledParser<V> {
     /// precomputed here so error construction at parse time is a
     /// clone of inline `Arc`s — no allocation on the error path.
     pub(crate) state_expected: Vec<Expected>,
+    /// Token name per flat production (`None` for F2 skip
+    /// self-loops), retained for observability: hooks report raw flat
+    /// production indices, and [`CompiledParser::prod_label`] renders
+    /// them.
+    pub(crate) prod_names: Vec<Option<Arc<str>>>,
+    /// Owning nonterminal (dense `NtId` index) per flat production,
+    /// retained so profile reports can group rules by nonterminal.
+    pub(crate) prod_owner: Vec<u32>,
 }
 
 impl<V> CompiledParser<V> {
@@ -171,6 +179,7 @@ impl<V> CompiledParser<V> {
         let nt_count = fused.nt_count();
         let mut prods: Vec<CompiledProd<V>> = Vec::new();
         let mut prod_token: Vec<Option<Token>> = Vec::new();
+        let mut prod_owner: Vec<u32> = Vec::new();
         let mut eps: Vec<Option<Reduce<V>>> = Vec::with_capacity(nt_count);
         let mut per_nt_prods: Vec<Vec<(RegexId, u32)>> = Vec::with_capacity(nt_count);
         for nt in fused.nts() {
@@ -189,6 +198,7 @@ impl<V> CompiledParser<V> {
                     }),
                 }
                 prod_token.push(p.token.as_ref().map(|t| t.token));
+                prod_owner.push(nt.index() as u32);
                 list.push((p.regex, flat));
             }
             per_nt_prods.push(list);
@@ -262,6 +272,10 @@ impl<V> CompiledParser<V> {
             }
         }
         let nt_start_row = nt_start.iter().map(|&s| s * stride).collect();
+        let prod_names = prod_token
+            .iter()
+            .map(|t| t.map(|t| Arc::clone(fused.token_name_arc(t))))
+            .collect();
         CompiledParser {
             states: c.states,
             class_map,
@@ -275,6 +289,8 @@ impl<V> CompiledParser<V> {
             start_nt: fused.start().index() as u32,
             stream_id: flap_fuse::stream::next_owner_id(),
             state_expected,
+            prod_names,
+            prod_owner,
         }
     }
 
@@ -283,6 +299,33 @@ impl<V> CompiledParser<V> {
     /// function per `(F_n, k)` pair; so do we).
     pub fn state_count(&self) -> usize {
         self.states.len()
+    }
+
+    /// Number of flat fused productions — the index space of the
+    /// `class`/`rule` identifiers this parser's engine reports to an
+    /// [`Observer`](flap_fuse::Observer).
+    pub fn prod_count(&self) -> usize {
+        self.prods.len()
+    }
+
+    /// Token name of flat production `p`, or `None` for F2 skip
+    /// self-loops (and out-of-range indices). Renders the raw
+    /// `class`/`rule` ids the engine hands to an
+    /// [`Observer`](flap_fuse::Observer).
+    pub fn prod_label(&self, p: u32) -> Option<&str> {
+        self.prod_names.get(p as usize)?.as_deref()
+    }
+
+    /// Dense `NtId` index of the nonterminal owning flat production
+    /// `p`, or `None` when out of range.
+    pub fn prod_nt(&self, p: u32) -> Option<u32> {
+        self.prod_owner.get(p as usize).copied()
+    }
+
+    /// State id of a premultiplied transition-table `row` as reported
+    /// by [`Observer::nt_row`](flap_fuse::Observer::nt_row).
+    pub fn row_state(&self, row: u32) -> u32 {
+        row / self.stride
     }
 }
 

@@ -26,7 +26,7 @@ use std::mem::size_of;
 use std::ops::Range;
 
 use flap_fuse::incremental::{Ckpt, EditLog};
-use flap_fuse::{FusedParseError, IncrementalConfig, ReuseStats};
+use flap_fuse::{FusedParseError, IncrementalConfig, NoopObserver, Observer, ReuseStats};
 
 use crate::compile::CompiledParser;
 use crate::vm::{Ctl, Flow, ParseSession, Resume};
@@ -158,11 +158,12 @@ enum FeedEnd {
 /// the retained tail with `last == true`), mirroring the buffering
 /// discipline of `StreamParse::feed`/`finish` but instantiable with
 /// actions compiled out.
-fn feed_step<const A: bool, V>(
+fn feed_step<const A: bool, V, O: Observer>(
     p: &CompiledParser<V>,
     s: &mut ParseSession<V>,
     chunk: &[u8],
     last: bool,
+    obs: &mut O,
 ) -> Result<FeedEnd, FusedParseError> {
     // no token tail retained: scan the caller's chunk in place and
     // copy only what suspension must keep
@@ -178,9 +179,9 @@ fn feed_step<const A: bool, V>(
         ..
     } = s;
     let flow = if in_place {
-        p.engine::<A>(control, values, resume, chunk, last)
+        p.engine::<A, _>(control, values, resume, chunk, last, obs)
     } else {
-        p.engine::<A>(control, values, resume, stream.buf(), last)
+        p.engine::<A, _>(control, values, resume, stream.buf(), last, obs)
     };
     match flow {
         Flow::More { keep_from } => {
@@ -245,9 +246,32 @@ impl<V> CompiledParser<V> {
     where
         V: Clone,
     {
-        self.reparse::<true>(inc, Mode::Value, |src, dst| {
-            dst.extend(src.iter().cloned());
-        })
+        self.parse_incremental_obs(inc, &mut NoopObserver)
+    }
+
+    /// As [`CompiledParser::parse_incremental`], with an [`Observer`]
+    /// receiving the re-parsed span's events plus one
+    /// [`Observer::reuse`] call when the run's accounting is final.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CompiledParser::parse_incremental`].
+    pub fn parse_incremental_obs<O: Observer>(
+        &self,
+        inc: &mut IncrementalSession<V>,
+        obs: &mut O,
+    ) -> Result<V, FusedParseError>
+    where
+        V: Clone,
+    {
+        self.reparse::<true, O>(
+            inc,
+            Mode::Value,
+            |src, dst| {
+                dst.extend(src.iter().cloned());
+            },
+            obs,
+        )
         .map(|v| v.expect("a completed value parse produces a value"))
     }
 
@@ -274,7 +298,22 @@ impl<V> CompiledParser<V> {
         &self,
         inc: &mut IncrementalSession<V>,
     ) -> Result<(), FusedParseError> {
-        self.reparse::<false>(inc, Mode::Validate, |_, _| {})
+        self.validate_incremental_obs(inc, &mut NoopObserver)
+    }
+
+    /// As [`CompiledParser::validate_incremental`], with an
+    /// [`Observer`] receiving the re-validated span's events plus one
+    /// [`Observer::reuse`] call when the run's accounting is final.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CompiledParser::validate_incremental`].
+    pub fn validate_incremental_obs<O: Observer>(
+        &self,
+        inc: &mut IncrementalSession<V>,
+        obs: &mut O,
+    ) -> Result<(), FusedParseError> {
+        self.reparse::<false, O>(inc, Mode::Validate, |_, _| {}, obs)
             .map(|_| ())
     }
 
@@ -282,11 +321,12 @@ impl<V> CompiledParser<V> {
     /// stack into checkpoint storage (a no-op for validation, whose
     /// value stacks are empty) — passed as a closure so the `V:
     /// Clone` bound lives only on the value-mode entry point.
-    fn reparse<const A: bool>(
+    fn reparse<const A: bool, O: Observer>(
         &self,
         inc: &mut IncrementalSession<V>,
         mode: Mode,
         fill_values: impl Fn(&[V], &mut Vec<V>),
+        obs: &mut O,
     ) -> Result<Option<V>, FusedParseError> {
         if inc.owner != self.stream_id || inc.mode != mode {
             // different tables, or checkpoints of the other engine
@@ -330,9 +370,11 @@ impl<V> CompiledParser<V> {
         let mut next_ck = pos + inc.interval;
         let outcome = loop {
             if pos >= doc_len {
-                break feed_step::<A, V>(self, &mut inc.scratch, &[], true).map(|end| match end {
-                    FeedEnd::Done => {}
-                    FeedEnd::More => unreachable!("the final feed never suspends"),
+                break feed_step::<A, V, O>(self, &mut inc.scratch, &[], true, obs).map(|end| {
+                    match end {
+                        FeedEnd::Done => {}
+                        FeedEnd::More => unreachable!("the final feed never suspends"),
+                    }
                 });
             }
             // stop at the next stale checkpoint's position (to test
@@ -348,7 +390,13 @@ impl<V> CompiledParser<V> {
                 }
             }
             debug_assert!(target > pos, "feed targets must advance");
-            match feed_step::<A, V>(self, &mut inc.scratch, &inc.log.doc[pos..target], false) {
+            match feed_step::<A, V, O>(
+                self,
+                &mut inc.scratch,
+                &inc.log.doc[pos..target],
+                false,
+                obs,
+            ) {
                 Ok(FeedEnd::More) => {}
                 Ok(FeedEnd::Done) => unreachable!("non-final feeds never complete"),
                 Err(e) => {
@@ -386,6 +434,7 @@ impl<V> CompiledParser<V> {
                         inc.log.stale.clear();
                         inc.stats.checkpoints = inc.log.confirmed.len();
                         inc.stats.retained_bytes = inc.log.confirmed.iter().map(ckpt_bytes).sum();
+                        obs.reuse(&inc.stats);
                         return out.map(|()| None);
                     }
                 }
@@ -414,6 +463,7 @@ impl<V> CompiledParser<V> {
 
         inc.stats.checkpoints = inc.log.confirmed.len();
         inc.stats.retained_bytes = inc.log.confirmed.iter().map(ckpt_bytes).sum();
+        obs.reuse(&inc.stats);
         match outcome {
             Ok(()) => {
                 let v = if A {

@@ -107,9 +107,9 @@ pub use incremental::IncrementalSession;
 pub use metrics::{measure_pipeline, CompileTimes, SizeReport, TableFootprint};
 pub use vm::{ParseSession, StreamParse};
 
-// The streaming and incremental vocabulary shared with `flap-fuse`,
-// re-exported so staged users need only this crate.
+// The streaming, incremental and observability vocabulary shared
+// with `flap-fuse`, re-exported so staged users need only this crate.
 pub use flap_fuse::{
-    ByteSource, Expected, IncrementalConfig, IterSource, ReadSource, ReuseStats, SliceChunks, Step,
-    StreamError,
+    ByteSource, Expected, IncrementalConfig, IterSource, NoopObserver, Observer, ParseProfiler,
+    ReadSource, ReuseStats, SliceChunks, Step, StreamError,
 };

@@ -54,6 +54,7 @@
 //! allocates a fresh session per call; servers and benchmarks should
 //! hold one session per worker thread and reuse it.
 
+use flap_fuse::obs::{NoopObserver, Observer};
 use flap_fuse::{line_col, ByteSource, FusedParseError, Step, StreamError, StreamState};
 
 use crate::compile::{decode_stop, CompiledParser, CompiledProd, StopAction, STOP};
@@ -223,13 +224,19 @@ impl<V> CompiledParser<V> {
     /// (`last == false`), finishes, or fails. With `ACTIONS == false`
     /// semantic actions (and the value stack) are skipped entirely,
     /// which is what [`CompiledParser::recognize`] measures.
-    pub(crate) fn engine<const ACTIONS: bool>(
+    ///
+    /// `obs` receives per-event hooks (token commits, skips,
+    /// reductions, nonterminal dispatches — never per byte);
+    /// monomorphized over [`NoopObserver`] the calls vanish and the
+    /// loop compiles to the unobserved automaton.
+    pub(crate) fn engine<const ACTIONS: bool, O: Observer>(
         &self,
         control: &mut Vec<Ctl>,
         values: &mut Vec<V>,
         resume: &mut Resume,
         input: &[u8],
         last: bool,
+        obs: &mut O,
     ) -> Flow {
         let mut pos = 0usize;
         if !matches!(*resume, Resume::Trailing { .. }) {
@@ -259,10 +266,13 @@ impl<V> CompiledParser<V> {
                                     }
                                 }
                             }
+                            obs.reduce(p);
                             continue 'outer;
                         }
                         Some(Ctl::Nt(nt)) => {
-                            (nt, pos, self.nt_start_row[nt as usize] as usize, pos, pos)
+                            let row = self.nt_start_row[nt as usize];
+                            obs.nt_row(row);
+                            (nt, pos, row as usize, pos, pos)
                         }
                     },
                 };
@@ -319,6 +329,7 @@ impl<V> CompiledParser<V> {
                                     .expect("Eps stop action implies an ε rule");
                                 eps.run(values);
                             }
+                            obs.eps_reduce();
                             pos = tok_start;
                             continue 'outer;
                         }
@@ -326,8 +337,10 @@ impl<V> CompiledParser<V> {
                             pos = rs;
                             match &self.prods[p as usize] {
                                 CompiledProd::Skip { .. } => {
+                                    obs.skipped(pos - tok_start);
                                     tok_start = pos;
                                     row = self.nt_start_row[nt as usize] as usize;
+                                    obs.nt_row(row as u32);
                                     rs = pos;
                                     i = pos;
                                     continue 'token;
@@ -337,6 +350,7 @@ impl<V> CompiledParser<V> {
                                     tail,
                                     reduce,
                                 } => {
+                                    obs.token(p, rs - tok_start);
                                     if ACTIONS {
                                         values.push(tok_action(&input[tok_start..rs]));
                                         // identity reductions (plain
@@ -412,6 +426,7 @@ impl<V> CompiledParser<V> {
                 break;
             }
             // commit the lexeme; rescan any lookahead bytes beyond it
+            obs.skipped(best);
             tok_start += best;
             i = tok_start;
             row = 0;
@@ -465,6 +480,25 @@ impl<V> CompiledParser<V> {
         session: &mut ParseSession<V>,
         input: &[u8],
     ) -> Result<V, FusedParseError> {
+        self.parse_with_obs(session, input, &mut NoopObserver)
+    }
+
+    /// As [`CompiledParser::parse_with`], with an [`Observer`]
+    /// receiving the parse's events (token commits, skips, reductions,
+    /// nonterminal dispatches — see [`flap_fuse::obs`]). The observed
+    /// and unobserved paths run the same stepper, so results and
+    /// errors are byte-identical; with [`NoopObserver`] this *is*
+    /// [`CompiledParser::parse_with`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`CompiledParser::parse`].
+    pub fn parse_with_obs<O: Observer>(
+        &self,
+        session: &mut ParseSession<V>,
+        input: &[u8],
+        obs: &mut O,
+    ) -> Result<V, FusedParseError> {
         session.begin(self.start_nt, self.stream_id);
         let ParseSession {
             control,
@@ -472,7 +506,7 @@ impl<V> CompiledParser<V> {
             resume,
             ..
         } = session;
-        match self.engine::<true>(control, values, resume, input, true) {
+        match self.engine::<true, O>(control, values, resume, input, true, obs) {
             Flow::Done => {
                 debug_assert_eq!(values.len(), 1, "parse must produce exactly one value");
                 Ok(values.pop().expect("parse produced no value"))
@@ -507,7 +541,7 @@ impl<V> CompiledParser<V> {
             resume,
             ..
         } = &mut session;
-        match self.engine::<false>(control, values, resume, input, true) {
+        match self.engine::<false, _>(control, values, resume, input, true, &mut NoopObserver) {
             Flow::Done => Ok(()),
             Flow::NoMatch { pos, nt, state } => {
                 let (line, col) = line_col(input, pos);
@@ -643,17 +677,28 @@ impl<V> StreamParse<'_, V> {
     /// Panics if the stream already completed (returned `Done` or
     /// `Err`); start a new parse with [`CompiledParser::stream`].
     pub fn feed(&mut self, chunk: &[u8]) -> Step<V> {
+        self.feed_obs(chunk, &mut NoopObserver)
+    }
+
+    /// As [`StreamParse::feed`], with an [`Observer`] receiving the
+    /// feed boundary and the chunk's parse events.
+    ///
+    /// # Panics
+    ///
+    /// As for [`StreamParse::feed`].
+    pub fn feed_obs<O: Observer>(&mut self, chunk: &[u8], obs: &mut O) -> Step<V> {
         assert!(
             !matches!(self.session.resume, Resume::Idle),
             "no active stream: the previous parse completed; call stream() again"
         );
+        obs.feed(chunk.len(), self.session.stream.buf().len());
         if self.session.stream.buf().is_empty() {
             // no token tail retained: scan the caller's chunk in
             // place and copy only what suspension must keep
-            self.step(Some(chunk), false)
+            self.step(Some(chunk), false, obs)
         } else {
             self.session.stream.push_chunk(chunk);
-            self.step(None, false)
+            self.step(None, false, obs)
         }
     }
 
@@ -663,12 +708,22 @@ impl<V> StreamParse<'_, V> {
     /// # Panics
     ///
     /// As for [`StreamParse::feed`].
-    pub fn finish(mut self) -> Step<V> {
+    pub fn finish(self) -> Step<V> {
+        self.finish_obs(&mut NoopObserver)
+    }
+
+    /// As [`StreamParse::finish`], with an [`Observer`] receiving the
+    /// final events.
+    ///
+    /// # Panics
+    ///
+    /// As for [`StreamParse::feed`].
+    pub fn finish_obs<O: Observer>(mut self, obs: &mut O) -> Step<V> {
         assert!(
             !matches!(self.session.resume, Resume::Idle),
             "no active stream: the previous parse completed; call stream() again"
         );
-        self.step(None, true)
+        self.step(None, true, obs)
     }
 
     /// Drains `source` through [`StreamParse::feed`] and then
@@ -697,7 +752,7 @@ impl<V> StreamParse<'_, V> {
     /// None`) or a caller's chunk scanned in place (fast path, buffer
     /// empty). Either way `bytes[0]` sits at the stream's global
     /// offset.
-    fn step(&mut self, chunk: Option<&[u8]>, last: bool) -> Step<V> {
+    fn step<O: Observer>(&mut self, chunk: Option<&[u8]>, last: bool, obs: &mut O) -> Step<V> {
         let parser = self.parser;
         let ParseSession {
             control,
@@ -707,8 +762,8 @@ impl<V> StreamParse<'_, V> {
             ..
         } = &mut *self.session;
         let flow = match chunk {
-            Some(c) => parser.engine::<true>(control, values, resume, c, last),
-            None => parser.engine::<true>(control, values, resume, stream.buf(), last),
+            Some(c) => parser.engine::<true, _>(control, values, resume, c, last, obs),
+            None => parser.engine::<true, _>(control, values, resume, stream.buf(), last, obs),
         };
         match flow {
             Flow::More { keep_from } => {

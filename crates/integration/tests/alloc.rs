@@ -152,6 +152,82 @@ fn steady_state_streaming_does_not_allocate_per_chunk() {
 }
 
 #[test]
+fn disabled_observer_path_does_not_allocate() {
+    // The allocation half of the zero-overhead invariant: parsing
+    // through `parse_with_obs` with the `NoopObserver` must behave
+    // exactly like the unhooked entry point — zero allocations once
+    // the session has warmed up.
+    use flap::obs::NoopObserver;
+
+    let def = flap_grammars::sexp::def();
+    let parser = def.flap_parser();
+    let input = (def.generate)(11, 16 * 1024);
+    let expected = parser.parse(&input).expect("generated input parses");
+
+    let mut session = parser.session();
+    for _ in 0..2 {
+        assert_eq!(
+            parser.parse_with_obs(&mut session, &input, &mut NoopObserver),
+            Ok(expected)
+        );
+    }
+
+    let (n, result) = allocs_during(|| {
+        let mut ok = true;
+        for _ in 0..50 {
+            ok &= parser.parse_with_obs(&mut session, &input, &mut NoopObserver) == Ok(expected);
+        }
+        ok
+    });
+    assert!(result, "observed parses must stay correct while audited");
+    assert_eq!(
+        n, 0,
+        "the NoopObserver path must not allocate ({n} allocations in 50 parses)"
+    );
+}
+
+#[test]
+fn enabled_profiler_reaches_an_allocation_free_steady_state() {
+    // The *enabled* path is allocation-bounded: the profiler's
+    // counter tables grow to the grammar's high-water mark during
+    // warm-up and are then reused, so steady-state profiling — reset
+    // included — allocates nothing.
+    use flap::obs::ParseProfiler;
+
+    let def = flap_grammars::sexp::def();
+    let parser = def.flap_parser();
+    let input = (def.generate)(11, 16 * 1024);
+    let expected = parser.parse(&input).expect("generated input parses");
+
+    let mut session = parser.session();
+    let mut prof = ParseProfiler::new();
+    for _ in 0..2 {
+        assert_eq!(
+            parser.parse_with_obs(&mut session, &input, &mut prof),
+            Ok(expected)
+        );
+    }
+
+    let (n, result) = allocs_during(|| {
+        let mut ok = true;
+        for _ in 0..50 {
+            prof.reset();
+            ok &= parser.parse_with_obs(&mut session, &input, &mut prof) == Ok(expected);
+        }
+        ok
+    });
+    assert!(result, "profiled parses must stay correct while audited");
+    assert_eq!(
+        n, 0,
+        "steady-state profiling must not allocate ({n} allocations in 50 parses)"
+    );
+    assert!(
+        prof.tokens() > 0 && prof.reduction_count() > 0,
+        "the audited parses must actually have been profiled"
+    );
+}
+
+#[test]
 fn fresh_session_per_parse_does_allocate() {
     // Sanity check on the audit itself: the convenience `parse`
     // allocates a session per call, so the counter must see it.
