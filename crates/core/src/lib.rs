@@ -159,10 +159,26 @@
 // deliberate tradeoff, constructed once per failed parse.
 #![allow(clippy::result_large_err)]
 
+pub mod cache;
 pub mod obs;
 mod parser;
 pub mod serve;
 pub mod typed;
+
+/// Compiled-parser artifacts: serialize a parser's tables with
+/// [`Parser::to_artifact`], persist or ship the bytes, and load them
+/// back with [`Parser::from_artifact`] (zero-copy from an aligned
+/// buffer) — skipping the staging phase of compilation. Re-exports
+/// the container primitives from `flap-artifact` and the
+/// attach/recognizer entry points from `flap-staged`.
+pub mod artifact {
+    pub use flap_artifact::{
+        fnv1a, AlignedBuf, Artifact, ArtifactError, ArtifactWriter, Fnv64, ARTIFACT_VERSION,
+    };
+    pub use flap_staged::artifact::{
+        attach, fused_shape_fingerprint, load_recognizer, peek_fingerprint,
+    };
+}
 
 pub use flap_cfe::{node_count, type_check, Cfe, Ty, TypeError, VarId};
 pub use flap_fuse::FusedParseError as ParseError;
@@ -172,7 +188,7 @@ pub use flap_fuse::{
 };
 pub use flap_lex::{LexBuildError, Lexer, LexerBuilder, Token, TokenSet};
 pub use flap_staged::{CompileTimes, IncrementalSession, ParseSession, SizeReport, StreamParse};
-pub use parser::{CompileError, Parser};
+pub use parser::{ArtifactLoadError, CompileError, Parser};
 
 // The pipeline crates, for users who need the intermediate stages.
 pub use flap_cfe;

@@ -52,6 +52,51 @@ impl From<TypeError> for CompileError {
     }
 }
 
+/// Why [`Parser::from_artifact`] failed: either the grammar front-end
+/// rejected the lexer/grammar pair, or the artifact bytes did not
+/// validate (corruption, version drift, shape mismatch, …).
+#[derive(Clone, Debug)]
+pub enum ArtifactLoadError {
+    /// The lexer/grammar pair failed type-checking, normalization or
+    /// fusion — the same errors [`Parser::compile`] reports.
+    Compile(CompileError),
+    /// The artifact bytes were rejected; see
+    /// [`ArtifactError`](flap_artifact::ArtifactError) for the exact
+    /// cause, including
+    /// [`ShapeMismatch`](flap_artifact::ArtifactError::ShapeMismatch)
+    /// when the bytes are valid but belong to a different grammar.
+    Artifact(flap_artifact::ArtifactError),
+}
+
+impl fmt::Display for ArtifactLoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactLoadError::Compile(e) => write!(f, "{e}"),
+            ArtifactLoadError::Artifact(e) => write!(f, "artifact error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactLoadError {}
+
+impl From<CompileError> for ArtifactLoadError {
+    fn from(e: CompileError) -> Self {
+        ArtifactLoadError::Compile(e)
+    }
+}
+
+impl From<TypeError> for ArtifactLoadError {
+    fn from(e: TypeError) -> Self {
+        ArtifactLoadError::Compile(CompileError::Type(e))
+    }
+}
+
+impl From<flap_artifact::ArtifactError> for ArtifactLoadError {
+    fn from(e: flap_artifact::ArtifactError) -> Self {
+        ArtifactLoadError::Artifact(e)
+    }
+}
+
 /// A compiled flap parser: the result of type-checking, normalizing
 /// (Fig 4), fusing (Fig 6) and staging (Fig 10) a combinator grammar
 /// against a lexer.
@@ -357,6 +402,106 @@ impl<V: 'static> Parser<V> {
     /// [`flap_staged::codegen::emit_rust`].
     pub fn emit_rust(&self, module_name: &str) -> String {
         flap_staged::codegen::emit_rust(&self.compiled, module_name)
+    }
+
+    /// Serializes the compiled tables into the versioned, checksummed
+    /// `flap-artifact` container: everything the automaton needs to
+    /// run — transition block, class map, stop actions, skip DFA,
+    /// production labels — but **not** the semantic actions, which are
+    /// Rust closures and cannot be serialized. Load the bytes back
+    /// with [`Parser::from_artifact`] (full parser, actions re-attached
+    /// from the grammar) or
+    /// [`flap_staged::artifact::load_recognizer`] (recognizer only, no
+    /// grammar needed).
+    pub fn to_artifact(&self) -> Vec<u8> {
+        self.compiled.to_artifact()
+    }
+
+    /// Rebuilds a full parser from artifact bytes plus the grammar
+    /// definition, skipping the staging phase — the expensive part of
+    /// compilation (see `flap-bench --bin boot` for the measured
+    /// gap). The front-end still runs (type-check → normalize → fuse)
+    /// to recover the semantic actions; the artifact's tables are then
+    /// attached *if and only if* their shape fingerprint matches the
+    /// fused grammar's, so stale bytes for a different grammar are
+    /// rejected rather than mis-parsed.
+    ///
+    /// The bytes are copied once into a 64-byte-aligned buffer; the
+    /// transition tables are then *borrowed* from that buffer
+    /// (zero-copy — no per-table allocation). Callers that already
+    /// hold an aligned buffer can use
+    /// [`flap_staged::artifact::attach`] directly.
+    ///
+    /// ```
+    /// # use flap::{Cfe, LexerBuilder, Parser};
+    /// # fn lexer() -> flap::Lexer {
+    /// #     let mut lx = LexerBuilder::new();
+    /// #     lx.token("atom", "[a-z]+").unwrap();
+    /// #     lx.skip(" ").unwrap();
+    /// #     lx.build().unwrap()
+    /// # }
+    /// # let atom = flap::Token::from_index(0);
+    /// # let grammar: Cfe<i64> =
+    /// #     Cfe::fix(|x| Cfe::eps_with(|| 0).or(Cfe::tok_val(atom, 1).then(x, |a, b| a + b)));
+    /// let compiled = Parser::compile(lexer(), &grammar)?;
+    /// let bytes = compiled.to_artifact();
+    /// // …persist `bytes`, ship them to a server, then:
+    /// let loaded = Parser::from_artifact(&bytes, lexer(), &grammar)?;
+    /// assert_eq!(loaded.parse(b"a b c")?, compiled.parse(b"a b c")?);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactLoadError::Compile`] if the lexer/grammar pair does
+    /// not compile; [`ArtifactLoadError::Artifact`] if the bytes fail
+    /// validation or describe a different grammar shape.
+    pub fn from_artifact(
+        bytes: &[u8],
+        mut lexer: Lexer,
+        grammar: &Cfe<V>,
+    ) -> Result<Parser<V>, ArtifactLoadError> {
+        use std::time::Instant;
+
+        let t0 = Instant::now();
+        flap_cfe::type_check(grammar)?;
+        let t1 = Instant::now();
+        let dgnf = flap_dgnf::normalize(grammar)
+            .map_err(|e| ArtifactLoadError::Compile(CompileError::Normalize(e)))?;
+        dgnf.check_dgnf()
+            .map_err(|e| ArtifactLoadError::Compile(CompileError::Dgnf(e)))?;
+        let t2 = Instant::now();
+        let fused = flap_fuse::fuse(&mut lexer, &dgnf)
+            .map_err(|e| ArtifactLoadError::Compile(CompileError::Fuse(e)))?;
+        let t3 = Instant::now();
+        let buf = Arc::new(flap_artifact::AlignedBuf::from_bytes(bytes));
+        let compiled = flap_staged::artifact::attach(&buf, &fused)?;
+        let t4 = Instant::now();
+
+        let sizes = SizeReport {
+            lex_rules: lexer.rule_count(),
+            cfes: flap_cfe::node_count(grammar),
+            nts: dgnf.nt_count(),
+            prods: dgnf.prod_count(),
+            fused_prods: fused.prod_count(),
+            functions: compiled.state_count(),
+        };
+        let times = CompileTimes {
+            type_check: t1 - t0,
+            normalize: t2 - t1,
+            fuse: t3 - t2,
+            // the artifact path's analogue of staging: validate the
+            // container and attach the borrowed tables
+            stage: t4 - t3,
+        };
+        Ok(Parser {
+            compiled: Arc::new(compiled),
+            grammar: dgnf,
+            fused,
+            lexer,
+            sizes,
+            times,
+        })
     }
 }
 

@@ -90,6 +90,7 @@ use std::time::{Duration, Instant};
 use flap_fuse::{FusedParseError, Step};
 use flap_staged::{CompiledParser, ParseSession};
 
+use crate::cache::CacheCounters;
 use crate::obs::TraceRecorder;
 
 mod metrics;
@@ -106,6 +107,7 @@ pub struct PoolConfig {
     queue_capacity: usize,
     label: String,
     trace: Option<Arc<TraceRecorder>>,
+    cache: Option<Arc<CacheCounters>>,
 }
 
 impl Default for PoolConfig {
@@ -117,6 +119,7 @@ impl Default for PoolConfig {
             queue_capacity: 0,
             label: "pool".to_string(),
             trace: None,
+            cache: None,
         }
     }
 }
@@ -155,6 +158,18 @@ impl PoolConfig {
     /// metric.
     pub fn trace(mut self, recorder: Arc<TraceRecorder>) -> Self {
         self.trace = Some(recorder);
+        self
+    }
+
+    /// Attaches a compile cache's counters (from
+    /// [`ParserCache::counters`](crate::cache::ParserCache::counters))
+    /// so this pool's [`MetricsSnapshot`] reports `cache_hits`,
+    /// `cache_misses` and `cache_evictions` alongside its own
+    /// counters. Set automatically by
+    /// [`ParserCache::pool`](crate::cache::ParserCache::pool);
+    /// unattached pools report zeros.
+    pub fn cache_counters(mut self, counters: Arc<CacheCounters>) -> Self {
+        self.cache = Some(counters);
         self
     }
 
@@ -596,7 +611,12 @@ impl<V: Send + 'static> ParsePool<V> {
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             capacity,
-            metrics: Arc::new(Metrics::new(&config.label, workers, capacity)),
+            metrics: Arc::new(Metrics::new(
+                &config.label,
+                workers,
+                capacity,
+                config.cache.clone(),
+            )),
             trace: config.trace,
             label: config.label,
             threads: Mutex::new(Vec::with_capacity(workers)),

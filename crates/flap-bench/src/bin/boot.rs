@@ -1,0 +1,268 @@
+//! Boot latency: cold compilation vs artifact load, for every
+//! benchmark grammar — the headline number of the compiled-artifact
+//! subsystem.
+//!
+//! Usage: `cargo run -p flap-bench --release --bin boot --
+//! [--json] [--smoke [snapshot]]`
+//!
+//! * `--json` prints the results as a JSON document (the schema of
+//!   the checked-in `BENCH_boot.json`) instead of the table.
+//! * `--smoke [snapshot]` runs a fast pass, compares the document's
+//!   *schema* against the checked-in snapshot (default
+//!   `BENCH_boot.json`), and additionally asserts the acceptance
+//!   floor: loading the largest grammar's artifact must be at least
+//!   10× faster than cold-compiling it. Exits non-zero on either
+//!   failure, so CI keeps both the snapshot and the speedup honest.
+//!
+//! Three timings per grammar, each best-of-N:
+//!
+//! * **compile** — the full cold path a process pays on first boot:
+//!   build the lexer and combinator grammar, then
+//!   type-check → normalize → fuse → stage.
+//! * **load** — [`load_recognizer`] over an already-aligned buffer:
+//!   validate the container and attach the tables zero-copy. This is
+//!   the table-serving floor (no semantic actions).
+//! * **attach full** — [`Parser::from_artifact`]: the front-end
+//!   re-runs to recover semantic actions, staging is replaced by the
+//!   zero-copy attach. This is what a server restart actually pays.
+//!
+//! Every loaded parser is checked against the grammar's reference
+//! parser on a generated document, so the bench doubles as an
+//! end-to-end artifact round-trip test.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use flap::artifact::{load_recognizer, AlignedBuf};
+use flap::Parser;
+use flap_bench::json::{obj, Json};
+use flap_grammars::GrammarDef;
+
+/// The smoke-mode acceptance floor: artifact load must beat cold
+/// compile by at least this factor on the largest grammar.
+const MIN_HEADLINE_SPEEDUP: f64 = 10.0;
+
+struct BootRow {
+    name: &'static str,
+    artifact_bytes: usize,
+    compile_us: f64,
+    load_us: f64,
+    attach_full_us: f64,
+    /// `compile / load` — how much of boot the artifact removes.
+    speedup: f64,
+}
+
+fn best_of(iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    best
+}
+
+fn bench_one<V: 'static>(def: GrammarDef<V>, iters: usize) -> BootRow {
+    // Cold compile: everything a fresh process does before its first
+    // parse, including building the lexer and grammar definitions.
+    let compile_us = best_of(iters, || {
+        let p = Parser::compile((def.lexer)(), &(def.cfe)()).expect("compiles");
+        std::hint::black_box(p.compiled().state_count());
+    });
+
+    let parser = def.flap_parser();
+    let bytes = parser.to_artifact();
+    let doc = (def.generate)(42, 16 * 1024);
+    let expected = (def.reference)(&doc).expect("generated input is valid");
+
+    // Recognizer load: container validation + zero-copy table attach
+    // from an already-aligned buffer — the advertised load contract
+    // (a server keeps the file mapped or in an aligned arena; the
+    // tables are borrowed from it, never copied).
+    let buf = Arc::new(AlignedBuf::from_bytes(&bytes));
+    let load_us = best_of(iters, || {
+        let r = load_recognizer(&buf).expect("artifact loads");
+        assert!(r.tables_shared(), "load must borrow, not copy, tables");
+        std::hint::black_box(r.state_count());
+    });
+
+    // Full parser from artifact: front-end re-run + attach.
+    let attach_full_us = best_of(iters, || {
+        let p = Parser::from_artifact(&bytes, (def.lexer)(), &(def.cfe)()).expect("attaches");
+        std::hint::black_box(p.compiled().state_count());
+    });
+
+    // Round-trip correctness: the loaded parser and recognizer agree
+    // with the reference on a generated document.
+    let loaded = Parser::from_artifact(&bytes, (def.lexer)(), &(def.cfe)()).expect("attaches");
+    assert_eq!(
+        (def.finish)(loaded.parse(&doc).expect("parses")),
+        expected,
+        "{}: loaded parser disagrees with oracle",
+        def.name
+    );
+    load_recognizer(&buf)
+        .expect("artifact loads")
+        .recognize(&doc)
+        .unwrap_or_else(|e| panic!("{}: loaded recognizer rejects valid input: {e}", def.name));
+
+    BootRow {
+        name: def.name,
+        artifact_bytes: bytes.len(),
+        compile_us,
+        load_us,
+        attach_full_us,
+        speedup: compile_us / load_us,
+    }
+}
+
+/// The row whose artifact is biggest — the headline grammar.
+fn headline(rows: &[BootRow]) -> &BootRow {
+    rows.iter()
+        .max_by_key(|r| r.artifact_bytes)
+        .expect("at least one grammar")
+}
+
+fn report(rows: &[BootRow], iters: usize) -> Json {
+    let round1 = |v: f64| Json::Num((v * 10.0).round() / 10.0);
+    let h = headline(rows);
+    obj(vec![
+        ("bench", Json::Str("boot".to_string())),
+        ("iters", Json::Num(iters as f64)),
+        ("headline_grammar", Json::Str(h.name.to_string())),
+        ("headline_speedup", round1(h.speedup)),
+        (
+            "grammars",
+            Json::Obj(
+                rows.iter()
+                    .map(|r| {
+                        (
+                            r.name.to_string(),
+                            obj(vec![
+                                ("artifact_bytes", Json::Num(r.artifact_bytes as f64)),
+                                ("compile_us", round1(r.compile_us)),
+                                ("load_us", round1(r.load_us)),
+                                ("attach_full_us", round1(r.attach_full_us)),
+                                ("speedup", round1(r.speedup)),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn print_table(rows: &[BootRow], iters: usize) {
+    println!("boot latency: cold compile vs artifact load (best of {iters})");
+    println!(
+        "{:<8}{:>12}{:>14}{:>12}{:>16}{:>10}",
+        "grammar", "artifact B", "compile µs", "load µs", "attach-full µs", "speedup"
+    );
+    for r in rows {
+        println!(
+            "{:<8}{:>12}{:>14.1}{:>12.1}{:>16.1}{:>9.0}x",
+            r.name, r.artifact_bytes, r.compile_us, r.load_us, r.attach_full_us, r.speedup
+        );
+    }
+    let h = headline(rows);
+    println!(
+        "\nheadline ({}, largest artifact): load is {:.0}x faster than cold compile;\n\
+         a full parser (actions re-attached) is {:.0}x faster",
+        h.name,
+        h.speedup,
+        h.compile_us / h.attach_full_us
+    );
+}
+
+struct Options {
+    json: bool,
+    /// `Some(snapshot_path)` when running as a CI smoke check.
+    smoke: Option<String>,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        json: false,
+        smoke: None,
+    };
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => opts.json = true,
+            "--smoke" => {
+                let path = match args.peek() {
+                    Some(p) if !p.starts_with("--") => args.next().unwrap(),
+                    _ => "BENCH_boot.json".to_string(),
+                };
+                opts.smoke = Some(path);
+            }
+            other => {
+                eprintln!("boot: unknown argument {other}");
+            }
+        }
+    }
+    opts
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    // Smoke still needs a stable best-of: the 10x floor check below
+    // compares two micro-timings, and best-of-2 is too noisy for it.
+    let iters = if opts.smoke.is_some() { 4 } else { 7 };
+
+    let rows = vec![
+        bench_one(flap_grammars::pgn::def(), iters),
+        bench_one(flap_grammars::ppm::def(), iters),
+        bench_one(flap_grammars::sexp::def(), iters),
+        bench_one(flap_grammars::csv::def(), iters),
+        bench_one(flap_grammars::json::def(), iters),
+        bench_one(flap_grammars::arith::def(), iters),
+    ];
+    let doc = report(&rows, iters);
+
+    if let Some(snapshot) = &opts.smoke {
+        let text = match std::fs::read_to_string(snapshot) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("boot --smoke: cannot read snapshot {snapshot}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let snap = match Json::parse(&text) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("boot --smoke: snapshot {snapshot} is not valid JSON: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if !snap.same_schema(&doc) {
+            eprintln!(
+                "boot --smoke: schema drift between {snapshot} and the harness.\n\
+                 Regenerate with: cargo run --release -p flap-bench --bin boot -- --json \
+                 > BENCH_boot.json\ncurrent harness output:\n{doc}"
+            );
+            return ExitCode::FAILURE;
+        }
+        let h = headline(&rows);
+        if h.speedup < MIN_HEADLINE_SPEEDUP {
+            eprintln!(
+                "boot --smoke: headline speedup {:.1}x on {} is below the {MIN_HEADLINE_SPEEDUP}x \
+                 acceptance floor",
+                h.speedup, h.name
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "boot --smoke: snapshot {snapshot} schema matches; headline {:.0}x >= \
+             {MIN_HEADLINE_SPEEDUP}x on {}",
+            h.speedup, h.name
+        );
+    } else if opts.json {
+        println!("{doc}");
+    } else {
+        print_table(&rows, iters);
+    }
+    ExitCode::SUCCESS
+}

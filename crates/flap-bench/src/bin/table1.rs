@@ -39,12 +39,17 @@ fn row<V: 'static>(def: flap_grammars::GrammarDef<V>) -> (String, [usize; 6]) {
 
 fn footprint<V: 'static>(
     def: flap_grammars::GrammarDef<V>,
-) -> (String, flap::flap_staged::TableFootprint) {
+) -> (String, flap::flap_staged::TableFootprint, usize) {
     let p = def.flap_parser();
-    (def.name.to_string(), p.compiled().table_footprint())
+    let artifact_bytes = p.to_artifact().len();
+    (
+        def.name.to_string(),
+        p.compiled().table_footprint(),
+        artifact_bytes,
+    )
 }
 
-fn footprints() -> Vec<(String, flap::flap_staged::TableFootprint)> {
+fn footprints() -> Vec<(String, flap::flap_staged::TableFootprint, usize)> {
     vec![
         footprint(flap_grammars::pgn::def()),
         footprint(flap_grammars::ppm::def()),
@@ -89,20 +94,22 @@ fn main() {
             .join(", ")
     );
     println!();
-    println!("Transition-table footprint (flattened, alphabet-compressed vs dense 256-way):");
+    println!("Transition-table footprint (flattened, alphabet-compressed vs dense 256-way),");
+    println!("plus the serialized size of the whole parser (flap-artifact container):");
     println!(
-        "{:<8}{:>8}{:>10}{:>14}{:>13}{:>8}",
-        "grammar", "states", "classes", "compressed", "dense", "ratio"
+        "{:<8}{:>8}{:>10}{:>14}{:>13}{:>8}{:>16}",
+        "grammar", "states", "classes", "compressed", "dense", "ratio", "artifact"
     );
-    for (name, fp) in footprints() {
+    for (name, fp, artifact_bytes) in footprints() {
         println!(
-            "{:<8}{:>8}{:>10}{:>12} B{:>11} B{:>7.1}x",
+            "{:<8}{:>8}{:>10}{:>12} B{:>11} B{:>7.1}x{:>14} B",
             name,
             fp.states,
             fp.classes,
             fp.table_bytes,
             fp.dense_bytes,
-            fp.dense_bytes as f64 / fp.table_bytes as f64
+            fp.dense_bytes as f64 / fp.table_bytes as f64,
+            artifact_bytes
         );
     }
 }

@@ -320,6 +320,13 @@ impl Expected {
     pub fn is_truncated(&self) -> bool {
         self.truncated
     }
+
+    /// Marks the set truncated without adding a name — used when
+    /// rebuilding a set whose overflow names are no longer known
+    /// (artifact decoding preserves the flag, not the lost names).
+    pub fn mark_truncated(&mut self) {
+        self.truncated = true;
+    }
 }
 
 impl fmt::Display for Expected {

@@ -311,7 +311,25 @@ pub fn reference(input: &[u8]) -> Result<i64, String> {
 pub fn generate(seed: u64, target: usize) -> Vec<u8> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = Vec::with_capacity(target + 256);
-    gen_value(&mut rng, &mut out, target, 0);
+    // A top-level array filled until the byte target is met. A single
+    // top-level gen_value roll can come up scalar ("true" — 4 bytes),
+    // which made some seeds emit degenerate documents regardless of
+    // `target`; appending elements until the budget is spent makes
+    // every seed produce at least `target` bytes.
+    out.push(b'[');
+    let mut first = true;
+    while out.len() + 1 < target {
+        if !first {
+            out.extend_from_slice(b", ");
+        }
+        first = false;
+        gen_value(&mut rng, &mut out, target, 1);
+    }
+    if first {
+        // tiny targets still get one element so the array is non-trivial
+        gen_value(&mut rng, &mut out, target, 1);
+    }
+    out.push(b']');
     out
 }
 
@@ -475,6 +493,26 @@ mod tests {
         let p = def().flap_parser();
         for seed in 0..5 {
             let input = generate(seed, 4096);
+            let expect = reference(&input).expect("generator must produce valid JSON");
+            assert_eq!(p.parse(&input).unwrap(), expect, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn generated_inputs_meet_the_byte_target_for_every_seed() {
+        // Regression: the old generator rolled one top-level value, so
+        // a scalar roll (seed 5 → `true`) emitted a 4-byte document no
+        // matter the requested size, skewing every benchmark that
+        // sizes work by document bytes.
+        let p = def().flap_parser();
+        let target = 2048;
+        for seed in 0..32 {
+            let input = generate(seed, target);
+            assert!(
+                input.len() >= target,
+                "seed {seed}: {} bytes < target {target}",
+                input.len()
+            );
             let expect = reference(&input).expect("generator must produce valid JSON");
             assert_eq!(p.parse(&input).unwrap(), expect, "seed {seed}");
         }

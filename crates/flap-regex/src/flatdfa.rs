@@ -36,20 +36,33 @@
 //! step at chunk boundaries and near the end of input.
 
 use std::collections::HashMap;
+use std::sync::Arc;
+
+use flap_artifact::{AlignedBuf, ArtifactError, SectionBuf, SectionReader};
 
 use crate::arena::{RegexArena, RegexId};
 use crate::byteset::ByteSet;
 use crate::dfa::Dfa;
 
-/// A 64-byte-aligned, heap-allocated block of `u32` table entries.
+/// A 64-byte-aligned block of `u32` table entries.
 ///
-/// Rust has no stable allocator API for over-aligned slices, so the
-/// block is built from `#[repr(C, align(64))]` cache-line chunks and
-/// viewed as a flat `&[u32]`.
+/// Rust has no stable allocator API for over-aligned slices, so owned
+/// blocks are built from `#[repr(C, align(64))]` cache-line chunks
+/// and viewed as a flat `&[u32]`. A block may instead *borrow* its
+/// entries from a shared [`AlignedBuf`] (a loaded artifact): cloning
+/// a shared block is a refcount bump, and mutation copies on write.
 #[derive(Clone, Debug)]
 pub struct AlignedU32s {
-    lines: Box<[CacheLine]>,
+    backing: Backing,
     len: usize,
+}
+
+#[derive(Clone, Debug)]
+enum Backing {
+    Owned(Box<[CacheLine]>),
+    /// Entries live at `buf[offset..offset + 4 * len]`; the offset is
+    /// 64-byte aligned, so index 0 keeps cache-line alignment.
+    Shared(Arc<AlignedBuf>, usize),
 }
 
 /// One cache line of table entries (16 × `u32` = 64 bytes).
@@ -62,9 +75,70 @@ impl AlignedU32s {
     pub fn filled(len: usize, fill: u32) -> AlignedU32s {
         let nlines = len.div_ceil(16);
         AlignedU32s {
-            lines: vec![CacheLine([fill; 16]); nlines].into_boxed_slice(),
+            backing: Backing::Owned(vec![CacheLine([fill; 16]); nlines].into_boxed_slice()),
             len,
         }
+    }
+
+    /// An owned block holding a copy of `bytes` interpreted as
+    /// native-endian `u32` words (the artifact copy-load path).
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Malformed`] when the byte count is not a
+    /// multiple of 4.
+    pub fn copy_from_bytes(bytes: &[u8]) -> Result<AlignedU32s, ArtifactError> {
+        if bytes.len() % 4 != 0 {
+            return Err(ArtifactError::Malformed(
+                "table section not whole u32 words",
+            ));
+        }
+        let mut out = AlignedU32s::filled(bytes.len() / 4, 0);
+        for (slot, word) in out.as_mut_slice().iter_mut().zip(bytes.chunks_exact(4)) {
+            *slot = u32::from_ne_bytes(word.try_into().expect("4-byte chunk"));
+        }
+        Ok(out)
+    }
+
+    /// A block viewing `len` entries in place at `byte_offset` of a
+    /// shared buffer — the artifact zero-copy path. No table bytes
+    /// are copied or allocated; clones share the buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Misaligned`] when `byte_offset` is not
+    /// 64-byte aligned, [`ArtifactError::Truncated`] when the range
+    /// exceeds the buffer.
+    pub fn shared(
+        buf: Arc<AlignedBuf>,
+        byte_offset: usize,
+        len: usize,
+    ) -> Result<AlignedU32s, ArtifactError> {
+        if byte_offset % 64 != 0 {
+            return Err(ArtifactError::Misaligned);
+        }
+        let need = byte_offset
+            .checked_add(
+                len.checked_mul(4)
+                    .ok_or(ArtifactError::Malformed("table length overflows"))?,
+            )
+            .ok_or(ArtifactError::Malformed("table offset overflows"))?;
+        if need > buf.len() {
+            return Err(ArtifactError::Truncated {
+                need,
+                have: buf.len(),
+            });
+        }
+        Ok(AlignedU32s {
+            backing: Backing::Shared(buf, byte_offset),
+            len,
+        })
+    }
+
+    /// Whether the entries borrow from a shared buffer (true exactly
+    /// for zero-copy loaded tables; used by allocation audits).
+    pub fn is_shared(&self) -> bool {
+        matches!(self.backing, Backing::Shared(..))
     }
 
     /// Number of entries.
@@ -80,18 +154,44 @@ impl AlignedU32s {
     /// The entries as a flat slice (cache-line aligned at index 0).
     #[inline]
     pub fn as_slice(&self) -> &[u32] {
-        // Sound: `CacheLine` is a `repr(C)` array of `u32`, so the
-        // boxed lines are `len.div_ceil(16) * 16 >= len` contiguous,
-        // initialized `u32`s, and alignment only decreases.
-        unsafe { std::slice::from_raw_parts(self.lines.as_ptr().cast::<u32>(), self.len) }
+        match &self.backing {
+            // Sound: `CacheLine` is a `repr(C)` array of `u32`, so the
+            // boxed lines are `len.div_ceil(16) * 16 >= len` contiguous,
+            // initialized `u32`s, and alignment only decreases.
+            Backing::Owned(lines) => unsafe {
+                std::slice::from_raw_parts(lines.as_ptr().cast::<u32>(), self.len)
+            },
+            // Sound: `shared` checked `offset % 64 == 0` (so the base
+            // pointer is u32-aligned: AlignedBuf's storage is 64-byte
+            // aligned) and `offset + 4 * len <= buf.len()` (so the
+            // words are initialized bytes); u8 -> u32 is a valid
+            // reinterpretation of any initialized bytes.
+            Backing::Shared(buf, offset) => unsafe {
+                std::slice::from_raw_parts(
+                    buf.as_slice().as_ptr().add(*offset).cast::<u32>(),
+                    self.len,
+                )
+            },
+        }
     }
 
-    /// The entries as a mutable flat slice.
+    /// The entries as a mutable flat slice; a shared block first
+    /// copies its entries into owned storage (copy-on-write).
     #[inline]
     pub fn as_mut_slice(&mut self) -> &mut [u32] {
-        // Sound: as for `as_slice`, plus `&mut self` guarantees
-        // uniqueness.
-        unsafe { std::slice::from_raw_parts_mut(self.lines.as_mut_ptr().cast::<u32>(), self.len) }
+        if self.is_shared() {
+            let mut owned = AlignedU32s::filled(self.len, 0);
+            owned.as_mut_slice().copy_from_slice(self.as_slice());
+            *self = owned;
+        }
+        match &mut self.backing {
+            // Sound: as for `as_slice`, plus `&mut self` guarantees
+            // uniqueness.
+            Backing::Owned(lines) => unsafe {
+                std::slice::from_raw_parts_mut(lines.as_mut_ptr().cast::<u32>(), self.len)
+            },
+            Backing::Shared(..) => unreachable!("made owned above"),
+        }
     }
 }
 
@@ -389,6 +489,140 @@ impl FlatDfa {
         self.accepting.len()
     }
 
+    /// Serializes everything but the transition block — class map,
+    /// stride, accepting flags, accel scanners — as a little-endian
+    /// artifact-section payload. The transition words travel in their
+    /// own 64-byte-aligned section (see [`FlatDfa::trans_words`]) so
+    /// loaders can view them in place.
+    pub fn encode_meta(&self) -> Vec<u8> {
+        let mut b = SectionBuf::new();
+        b.put_bytes(self.classes.map());
+        b.put_u16(self.classes.count);
+        b.put_u32(self.state_count() as u32);
+        for &acc in &self.accepting {
+            b.put_u8(u8::from(acc));
+        }
+        b.put_u32(self.accel.len() as u32);
+        for (row, f) in &self.accel {
+            b.put_u32(*row);
+            b.put_bytes(&f.needles);
+            b.put_u8(f.n);
+            b.put_u8(u8::from(f.negate));
+        }
+        b.into_vec()
+    }
+
+    /// The raw transition entries, for writing as a native-endian
+    /// table section alongside [`FlatDfa::encode_meta`].
+    pub fn trans_words(&self) -> &[u32] {
+        self.trans.as_slice()
+    }
+
+    /// Whether the transition block borrows from a shared artifact
+    /// buffer (see [`AlignedU32s::is_shared`]).
+    pub fn is_shared(&self) -> bool {
+        self.trans.is_shared()
+    }
+
+    /// Rebuilds a `FlatDfa` from an [`FlatDfa::encode_meta`] payload
+    /// and its transition block (copied or shared; see
+    /// [`AlignedU32s::copy_from_bytes`] / [`AlignedU32s::shared`]).
+    ///
+    /// Every structural invariant is revalidated — class-map range,
+    /// table size, entry targets, accel ordering — so a corrupted or
+    /// crafted payload yields an error, never an automaton that
+    /// indexes out of bounds.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Truncated`] or [`ArtifactError::Malformed`]
+    /// on any inconsistency.
+    pub fn decode(meta: &[u8], trans: AlignedU32s) -> Result<FlatDfa, ArtifactError> {
+        let mut r = SectionReader::new(meta);
+        let mut map = [0u8; 256];
+        map.copy_from_slice(r.bytes(256)?);
+        let count = r.u16()?;
+        if count == 0 || count > 256 {
+            return Err(ArtifactError::Malformed("class count out of range"));
+        }
+        if map.iter().any(|&c| u16::from(c) >= count) {
+            return Err(ArtifactError::Malformed("class map entry out of range"));
+        }
+        let classes = ByteClasses { map, count };
+        let stride = count as u32;
+        let nstates = r.u32()? as usize;
+        if nstates == 0 {
+            return Err(ArtifactError::Malformed("automaton with no states"));
+        }
+        if trans.len() != nstates * stride as usize {
+            return Err(ArtifactError::Malformed("transition block size mismatch"));
+        }
+        let mut accepting = Vec::with_capacity(nstates);
+        for _ in 0..nstates {
+            match r.u8()? {
+                0 => accepting.push(false),
+                1 => accepting.push(true),
+                _ => return Err(ArtifactError::Malformed("bad accepting flag")),
+            }
+        }
+        let naccel = r.u32()? as usize;
+        let mut accel = Vec::with_capacity(naccel.min(nstates));
+        for _ in 0..naccel {
+            let row = r.u32()?;
+            let mut needles = [0u8; 4];
+            needles.copy_from_slice(r.bytes(4)?);
+            let n = r.u8()?;
+            let negate = r.u8()?;
+            if !(1..=4).contains(&n) || negate > 1 {
+                return Err(ArtifactError::Malformed("bad accel scanner"));
+            }
+            if row % stride != 0 || row as usize / stride as usize >= nstates {
+                return Err(ArtifactError::Malformed("accel row out of range"));
+            }
+            if let Some(&(prev, _)) = accel.last() {
+                if row <= prev {
+                    return Err(ArtifactError::Malformed("accel rows not sorted"));
+                }
+            }
+            accel.push((
+                row,
+                FastLoop {
+                    needles,
+                    n,
+                    negate: negate == 1,
+                },
+            ));
+        }
+        r.finish()?;
+        for &e in trans.as_slice() {
+            if e == Self::DEAD {
+                continue;
+            }
+            let target_row = e >> 2;
+            if target_row % stride != 0 || target_row as usize / stride as usize >= nstates {
+                return Err(ArtifactError::Malformed("transition target out of range"));
+            }
+            let target = (target_row / stride) as usize;
+            if (e & 1 == 1) != accepting[target] {
+                return Err(ArtifactError::Malformed("entry accept bit disagrees"));
+            }
+            if e & 2 != 0
+                && accel
+                    .binary_search_by_key(&target_row, |&(r, _)| r)
+                    .is_err()
+            {
+                return Err(ArtifactError::Malformed("accel bit without scanner"));
+            }
+        }
+        Ok(FlatDfa {
+            classes,
+            stride,
+            trans,
+            accepting,
+            accel,
+        })
+    }
+
     /// Number of byte equivalence classes (the row stride).
     pub fn classes(&self) -> usize {
         self.stride as usize
@@ -641,6 +875,69 @@ mod tests {
         let all = ByteClasses::from_columns(|b| b);
         assert_eq!(all.len(), 256);
         assert_eq!(all.class_of(255), 255);
+    }
+
+    #[test]
+    fn encode_decode_round_trips_copy_and_shared() {
+        let mut ar = RegexArena::new();
+        let ws = ar.class(ByteSet::from_bytes(b" \t\n\r"));
+        let d = ar.class(ByteSet::range(b'0', b'9'));
+        let num = ar.plus(d);
+        let pad = ar.star(ws);
+        let r = ar.seq(pad, num);
+        let flat = FlatDfa::build(&mut ar, r);
+
+        let meta = flat.encode_meta();
+        let words: Vec<u8> = flat
+            .trans_words()
+            .iter()
+            .flat_map(|w| w.to_ne_bytes())
+            .collect();
+
+        let copied = FlatDfa::decode(&meta, AlignedU32s::copy_from_bytes(&words).unwrap()).unwrap();
+        assert!(!copied.trans.is_shared());
+
+        let buf = Arc::new(AlignedBuf::from_bytes(&words));
+        let shared_trans = AlignedU32s::shared(buf, 0, flat.trans.len()).unwrap();
+        let shared = FlatDfa::decode(&meta, shared_trans).unwrap();
+        assert!(shared.trans.is_shared());
+
+        for input in [&b"  123"[..], b"9", b"", b"  ", b"12x", b"\t\t42  "] {
+            assert_eq!(copied.longest_match(input), flat.longest_match(input));
+            assert_eq!(shared.longest_match(input), flat.longest_match(input));
+            assert_eq!(shared.matches(input), flat.matches(input));
+        }
+        assert_eq!(shared.state_count(), flat.state_count());
+        assert_eq!(shared.classes(), flat.classes());
+
+        // meta corruption never panics, always errors
+        for i in 0..meta.len() {
+            let mut bad = meta.clone();
+            bad[i] ^= 0x11;
+            let t = AlignedU32s::copy_from_bytes(&words).unwrap();
+            let _ = FlatDfa::decode(&bad, t); // Err or (harmless) Ok, no panic
+        }
+        // truncated meta always errors
+        for keep in 0..meta.len() {
+            let t = AlignedU32s::copy_from_bytes(&words).unwrap();
+            assert!(FlatDfa::decode(&meta[..keep], t).is_err());
+        }
+    }
+
+    #[test]
+    fn shared_blocks_copy_on_write() {
+        let words: Vec<u8> = (0u32..32).flat_map(|w| w.to_ne_bytes()).collect();
+        let buf = Arc::new(AlignedBuf::from_bytes(&words));
+        let mut a = AlignedU32s::shared(Arc::clone(&buf), 0, 32).unwrap();
+        let b = a.clone();
+        assert!(a.is_shared() && b.is_shared());
+        a.as_mut_slice()[0] = 99;
+        assert!(!a.is_shared(), "mutation must detach from the buffer");
+        assert_eq!(a[0], 99);
+        assert_eq!(b[0], 0, "other views keep the shared bytes");
+        // misaligned or out-of-range shared views are rejected
+        assert!(AlignedU32s::shared(Arc::clone(&buf), 4, 1).is_err());
+        assert!(AlignedU32s::shared(buf, 64, 32).is_err());
     }
 
     #[test]

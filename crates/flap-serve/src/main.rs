@@ -7,6 +7,7 @@
 //!                [--mode block|try|stream] [--check] [--expect-rejections]
 //!                [--trace-out <path>] [--stats-json <path>]
 //!                [--metrics-jsonl <path>]
+//!                [--artifact <path>] [--save-artifact <path>]
 //! ```
 //!
 //! `gen` writes a firehose file: `<count>` generated documents of
@@ -26,6 +27,14 @@
 //! dumps the final metrics snapshot as one JSON object on exit;
 //! `--metrics-jsonl` appends a periodic JSON-lines feed of metrics
 //! snapshots while the run is in flight.
+//!
+//! Artifacts: `--save-artifact` writes the compiled parser's tables
+//! to a `flap-artifact` container after compiling; `--artifact` loads
+//! the tables from such a file instead of staging them from scratch
+//! (the front-end still runs to re-attach semantic actions, and the
+//! file's shape fingerprint must match the named grammar). Together
+//! they form the round-trip CI smoke:
+//! `run … --save-artifact p` then `run … --artifact p --check`.
 
 use std::collections::VecDeque;
 use std::fs::File;
@@ -55,6 +64,7 @@ const USAGE: &str = "usage:
                  [--mode block|try|stream] [--check] [--expect-rejections]
                  [--trace-out <path>] [--stats-json <path>]
                  [--metrics-jsonl <path>]
+                 [--artifact <path>] [--save-artifact <path>]
 grammars: json, sexp, csv, pgn";
 
 fn main() -> ExitCode {
@@ -132,6 +142,8 @@ struct RunOpts {
     trace_out: Option<String>,
     stats_json: Option<String>,
     metrics_jsonl: Option<String>,
+    artifact: Option<String>,
+    save_artifact: Option<String>,
 }
 
 /// Streaming jobs feed documents in chunks of this size.
@@ -156,6 +168,8 @@ fn run(args: &[String]) -> io::Result<ExitCode> {
         trace_out: None,
         stats_json: None,
         metrics_jsonl: None,
+        artifact: None,
+        save_artifact: None,
     };
     let mut it = flags.iter();
     while let Some(flag) = it.next() {
@@ -179,12 +193,37 @@ fn run(args: &[String]) -> io::Result<ExitCode> {
             "--trace-out" => opts.trace_out = Some(value("a path")?.clone()),
             "--stats-json" => opts.stats_json = Some(value("a path")?.clone()),
             "--metrics-jsonl" => opts.metrics_jsonl = Some(value("a path")?.clone()),
+            "--artifact" => opts.artifact = Some(value("a path")?.clone()),
+            "--save-artifact" => opts.save_artifact = Some(value("a path")?.clone()),
             other => return Err(io::Error::other(format!("unknown flag {other}"))),
         }
     }
 
     let def = grammar(name).ok_or_else(|| io::Error::other(format!("unknown grammar {name}")))?;
-    let parser = def.flap_parser();
+    let parser = match &opts.artifact {
+        Some(path) => {
+            let bytes = std::fs::read(path)?;
+            let parser = flap::Parser::from_artifact(&bytes, (def.lexer)(), &(def.cfe)())
+                .map_err(|e| io::Error::other(format!("loading artifact {path}: {e}")))?;
+            eprintln!(
+                "flap-serve: loaded {} bytes of {} tables from {path} in {:?}",
+                bytes.len(),
+                def.name,
+                parser.times().stage,
+            );
+            parser
+        }
+        None => def.flap_parser(),
+    };
+    if let Some(path) = &opts.save_artifact {
+        let bytes = parser.to_artifact();
+        std::fs::write(path, &bytes)?;
+        eprintln!(
+            "flap-serve: wrote {} artifact bytes for {} -> {path}",
+            bytes.len(),
+            def.name
+        );
+    }
     let trace = opts
         .trace_out
         .as_ref()

@@ -297,8 +297,12 @@ impl<V> CompiledParser<V> {
     /// Number of generated states — the analogue of the "Output
     /// functions" column of Table 1 (flap memoizes one generated
     /// function per `(F_n, k)` pair; so do we).
+    ///
+    /// Derived from the flat table rather than the staged state list
+    /// so it also holds for artifact-loaded parsers, which carry the
+    /// tables only (every state owns exactly one row).
     pub fn state_count(&self) -> usize {
-        self.states.len()
+        self.trans.len() / self.stride as usize
     }
 
     /// Number of flat fused productions — the index space of the
@@ -326,6 +330,14 @@ impl<V> CompiledParser<V> {
     /// by [`Observer::nt_row`](flap_fuse::Observer::nt_row).
     pub fn row_state(&self, row: u32) -> u32 {
         row / self.stride
+    }
+
+    /// The flat transition block, as the VM indexes it. Exposed for
+    /// zero-copy audits: for an artifact-loaded parser the returned
+    /// slice lies inside the originating `AlignedBuf`, which pointer
+    /// comparison can verify.
+    pub fn table_words(&self) -> &[u32] {
+        self.trans.as_slice()
     }
 }
 

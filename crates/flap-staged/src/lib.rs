@@ -96,6 +96,7 @@
 // deliberate tradeoff, constructed once per failed parse.
 #![allow(clippy::result_large_err)]
 
+pub mod artifact;
 pub mod codegen;
 mod compile;
 mod incremental;

@@ -1,0 +1,273 @@
+//! Artifact round-trip differential suite: for every benchmark
+//! grammar, a parser rebuilt from its serialized tables must be
+//! observationally identical to the freshly compiled one — same
+//! values, same errors (position, line/column), across the one-shot,
+//! streaming and validate entry points — and a corrupted or truncated
+//! artifact must fail loading with a typed error, never panic or
+//! parse wrongly.
+//!
+//! The file also hosts the zero-copy audit: loading from an aligned
+//! buffer must *borrow* the transition tables. That is proven two
+//! ways — the loaded table words must point *inside* the artifact
+//! buffer, and an allocation tracker must see no cache-line-aligned
+//! allocation large enough to be a table copy (owned table backings
+//! are 64-byte aligned; load-time metadata is not).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::Arc;
+
+use flap::artifact::{load_recognizer, AlignedBuf, ArtifactError};
+use flap::{Parser, SliceChunks};
+use flap_grammars::GrammarDef;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+// ---------------------------------------------------------------------------
+// Allocation tracker (thread-local, like tests/alloc.rs, but it
+// records the largest cache-line-aligned allocation rather than the
+// count — an owned transition block is a `Vec` of 64-byte-aligned
+// cache lines, so a table copy shows up here while ordinary
+// load-time metadata, all align ≤ 16, does not).
+
+struct MaxAlignedAlloc;
+
+thread_local! {
+    static MAX_ALIGNED: Cell<usize> = const { Cell::new(0) };
+}
+
+fn note(layout: Layout) {
+    if layout.align() >= 64 {
+        MAX_ALIGNED.with(|c| c.set(c.get().max(layout.size())));
+    }
+}
+
+unsafe impl GlobalAlloc for MaxAlignedAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        note(layout);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        note(Layout::from_size_align(new_size, layout.align()).unwrap_or(layout));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: MaxAlignedAlloc = MaxAlignedAlloc;
+
+/// Largest 64-byte-aligned allocation on this thread while running
+/// `f`.
+fn max_aligned_alloc_during<R>(f: impl FnOnce() -> R) -> (usize, R) {
+    MAX_ALIGNED.with(|c| c.set(0));
+    let r = f();
+    (MAX_ALIGNED.with(Cell::get), r)
+}
+
+// ---------------------------------------------------------------------------
+// Differential round-trip
+
+/// Valid and invalid probe documents for one grammar: the generated
+/// document, truncations of it, and a byte-smashed variant, so both
+/// the success path and error positions get compared.
+fn probes(def_generate: fn(u64, usize) -> Vec<u8>) -> Vec<Vec<u8>> {
+    let doc = def_generate(42, 4 * 1024);
+    let mut probes = vec![doc.clone()];
+    for cut in [doc.len() / 3, doc.len() - 1] {
+        probes.push(doc[..cut].to_vec());
+    }
+    let mut smashed = doc.clone();
+    let mid = smashed.len() / 2;
+    smashed[mid] = 0x01; // a byte no grammar's lexer accepts
+    probes.push(smashed);
+    probes.push(Vec::new());
+    probes
+}
+
+fn assert_round_trip<V: 'static>(def: GrammarDef<V>) {
+    let compiled = def.flap_parser();
+    let bytes = compiled.to_artifact();
+    let loaded = Parser::from_artifact(&bytes, (def.lexer)(), &(def.cfe)())
+        .unwrap_or_else(|e| panic!("{}: artifact failed to load: {e}", def.name));
+
+    for (i, doc) in probes(def.generate).iter().enumerate() {
+        // one-shot: same value (compared through `finish`) or the
+        // exact same error, byte offset and line/column included
+        let a = compiled.parse(doc).map(def.finish);
+        let b = loaded.parse(doc).map(def.finish);
+        assert_eq!(a, b, "{} probe {i}: one-shot parse differs", def.name);
+
+        // validate path
+        assert_eq!(
+            compiled.recognize(doc).err(),
+            loaded.recognize(doc).err(),
+            "{} probe {i}: recognize differs",
+            def.name
+        );
+
+        // streaming path, with a chunk size that splits lexemes;
+        // errors compared via Display (StreamError is not PartialEq)
+        let stream = |p: &Parser<V>| -> Result<i64, String> {
+            p.parse_source(&mut SliceChunks::new(doc, 7))
+                .map(def.finish)
+                .map_err(|e| e.to_string())
+        };
+        assert_eq!(
+            stream(&compiled),
+            stream(&loaded),
+            "{} probe {i}: streaming parse differs",
+            def.name
+        );
+    }
+
+    // the compiled-side recognizer agrees too (no actions at all)
+    let buf = Arc::new(AlignedBuf::from_bytes(&bytes));
+    let recognizer = load_recognizer(&buf).expect("recognizer loads");
+    for (i, doc) in probes(def.generate).iter().enumerate() {
+        assert_eq!(
+            compiled.recognize(doc).err(),
+            recognizer.recognize(doc).err(),
+            "{} probe {i}: recognizer differs",
+            def.name
+        );
+    }
+}
+
+#[test]
+fn round_trip_is_observationally_identical_for_every_grammar() {
+    assert_round_trip(flap_grammars::pgn::def());
+    assert_round_trip(flap_grammars::ppm::def());
+    assert_round_trip(flap_grammars::sexp::def());
+    assert_round_trip(flap_grammars::csv::def());
+    assert_round_trip(flap_grammars::json::def());
+    assert_round_trip(flap_grammars::arith::def());
+}
+
+#[test]
+fn artifacts_do_not_cross_attach_between_grammars() {
+    let json_bytes = flap_grammars::json::def().flap_parser().to_artifact();
+    let sexp = flap_grammars::sexp::def();
+    match Parser::from_artifact(&json_bytes, (sexp.lexer)(), &(sexp.cfe)()) {
+        Err(flap::ArtifactLoadError::Artifact(ArtifactError::ShapeMismatch(why))) => {
+            assert!(!why.is_empty(), "mismatch reason should be diagnostic")
+        }
+        Err(other) => panic!("expected a shape mismatch, got {other}"),
+        Ok(_) => panic!("json tables must not attach to the sexp grammar"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Corruption sweep
+
+#[test]
+fn corrupted_artifacts_error_out_and_never_panic_or_misparse() {
+    let defs = [flap_grammars::json::def(), flap_grammars::sexp::def()];
+    let mut rng = StdRng::seed_from_u64(0xFA57_F00D);
+    for def in defs {
+        let bytes = def.flap_parser().to_artifact();
+
+        // random single-byte flips: every one must be caught by the
+        // structural checks or a checksum — a load that "succeeds" on
+        // flipped bytes could silently mis-parse forever after
+        for _ in 0..200 {
+            let mut evil = bytes.clone();
+            let at = rng.random_range(0..evil.len());
+            let bit = 1u8 << rng.random_range(0..8);
+            evil[at] ^= bit;
+            match Parser::from_artifact(&evil, (def.lexer)(), &(def.cfe)()) {
+                Err(flap::ArtifactLoadError::Artifact(_)) => {}
+                Err(other) => panic!(
+                    "{}: flip at {at} produced a non-artifact error: {other}",
+                    def.name
+                ),
+                Ok(_) => panic!("{}: flip at {at} (bit {bit:#x}) was not detected", def.name),
+            }
+        }
+
+        // random truncations (and the empty file)
+        for _ in 0..50 {
+            let cut = rng.random_range(0..bytes.len());
+            let truncated = &bytes[..cut];
+            assert!(
+                matches!(
+                    Parser::from_artifact(truncated, (def.lexer)(), &(def.cfe)()),
+                    Err(flap::ArtifactLoadError::Artifact(_))
+                ),
+                "{}: truncation to {cut} bytes was not detected",
+                def.name
+            );
+        }
+
+        // random appended garbage must also fail: total_len pins the
+        // exact size, so trailing bytes are as corrupt as missing ones
+        let mut padded = bytes.clone();
+        padded.extend_from_slice(&[0xAB; 17]);
+        assert!(matches!(
+            Parser::from_artifact(&padded, (def.lexer)(), &(def.cfe)()),
+            Err(flap::ArtifactLoadError::Artifact(_))
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Zero-copy audit
+
+#[test]
+fn loading_from_an_aligned_buffer_never_allocates_a_table_copy() {
+    for (name, bytes, table_bytes) in [
+        artifact_of(flap_grammars::arith::def()),
+        artifact_of(flap_grammars::json::def()),
+        artifact_of(flap_grammars::pgn::def()),
+    ] {
+        let buf = Arc::new(AlignedBuf::from_bytes(&bytes));
+        let (max_aligned, recognizer) =
+            max_aligned_alloc_during(|| load_recognizer(&buf).expect("loads"));
+        assert!(
+            recognizer.tables_shared(),
+            "{name}: loaded tables must borrow from the artifact buffer"
+        );
+
+        // Pointer containment: the table words the VM indexes live
+        // inside the artifact buffer itself — there is no copy.
+        let words = recognizer.table_words();
+        let buf_range = buf.as_slice().as_ptr_range();
+        let word_bytes = words.as_ptr_range();
+        assert!(
+            buf_range.start as usize <= word_bytes.start as usize
+                && word_bytes.end as usize <= buf_range.end as usize,
+            "{name}: loaded table words ({word_bytes:?}) fall outside \
+             the artifact buffer ({buf_range:?})"
+        );
+        assert_eq!(
+            std::mem::size_of_val(words),
+            table_bytes,
+            "{name}: loaded table size disagrees with the compiled parser's"
+        );
+
+        // Allocator tripwire: building an owned table block allocates
+        // 64-byte-aligned cache lines; a zero-copy load must not.
+        assert!(
+            max_aligned < table_bytes,
+            "{name}: a {max_aligned}-byte cache-line-aligned allocation during \
+             load is large enough to hold the {table_bytes}-byte transition \
+             block — the load copied a table"
+        );
+
+        // and the borrow is real: the recognizer keeps the Arc alive
+        drop(buf);
+        recognizer.recognize(b"").err();
+    }
+}
+
+/// Name, serialized bytes, and the byte size of the main transition
+/// block (what a copying load would have to allocate).
+fn artifact_of<V: 'static>(def: GrammarDef<V>) -> (&'static str, Vec<u8>, usize) {
+    let p = def.flap_parser();
+    let table_bytes = std::mem::size_of_val(p.compiled().table_words());
+    (def.name, p.to_artifact(), table_bytes)
+}
